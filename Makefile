@@ -1,0 +1,24 @@
+# Common developer targets for the repro package.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures quick-figures clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.experiments all
+
+quick-figures:
+	$(PYTHON) -m repro.experiments all --quick
+
+clean:
+	rm -rf build src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_fig*.py`` module regenerates one of the paper's figures:
+it times the representative operation under ``pytest-benchmark`` *and*
+prints the paper-comparable rows (run with ``-s`` to see them inline; they
+are also asserted qualitatively).  Grids are reduced relative to the full
+experiment CLI (``python -m repro.experiments all``) so that
+``pytest benchmarks/ --benchmark-only`` completes in minutes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20260704)
+
+
+@pytest.fixture(scope="session")
+def square_operands(rng):
+    """Session-cached square operands by size."""
+    cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def get(n: int):
+        if n not in cache:
+            cache[n] = (
+                np.asfortranarray(rng.standard_normal((n, n))),
+                np.asfortranarray(rng.standard_normal((n, n))),
+            )
+        return cache[n]
+
+    return get
+
+
+def emit(title: str, text: str) -> None:
+    """Print a figure block (visible with -s / captured otherwise)."""
+    print(f"\n--- {title} ---\n{text}\n")

@@ -1,0 +1,108 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation isolates one of the paper's techniques on otherwise
+identical machinery:
+
+* dynamic vs fixed truncation (padding + wall-clock at the 513 pathology);
+* Morton vs column-major internal layout (same recursion & truncation);
+* Winograd vs original Strassen schedule (15 vs 18 additions);
+* interface conversion vs operands kept in Morton order.
+"""
+
+import numpy as np
+
+from repro.analysis.flops import strassen_original_flops, winograd_flops
+from repro.baselines.dgefmm import peeled_multiply
+from repro.core.modgemm import modgemm, modgemm_morton
+from repro.core.truncation import TruncationPolicy
+from repro.core.workspace import Workspace
+from repro.experiments.tuning import HOST_POLICY
+from repro.layout.matrix import MortonMatrix
+from repro.layout.padding import select_common_tiling
+
+from conftest import emit
+
+N = 513  # the pathological size for fixed truncation
+
+
+def test_dynamic_truncation(benchmark, square_operands):
+    a, b = square_operands(N)
+    benchmark.pedantic(
+        lambda: modgemm(a, b, policy=TruncationPolicy.dynamic(64, 256)),
+        rounds=3, iterations=1,
+    )
+
+
+def test_fixed_truncation(benchmark, square_operands):
+    # Fixed T=128 pads 513 -> 1024: the Figure 2 pathology, timed.
+    a, b = square_operands(N)
+    plan = TruncationPolicy.fixed(128).plan(N, N, N)
+    assert plan[0].padded == 1024
+    benchmark.pedantic(
+        lambda: modgemm(a, b, policy=TruncationPolicy.fixed(128)),
+        rounds=3, iterations=1,
+    )
+
+
+def test_morton_internal_layout(benchmark, square_operands):
+    # Layout ablation, Morton side: same Winograd schedule, truncation 128,
+    # on an even size (no peeling in the column-major comparator).
+    a, b = square_operands(512)
+    benchmark.pedantic(
+        lambda: modgemm(a, b, policy=TruncationPolicy.fixed(128)),
+        rounds=3, iterations=1,
+    )
+
+
+def test_colmajor_internal_layout(benchmark, square_operands):
+    # Layout ablation, column-major side: DGEFMM's recursion at 512 does no
+    # peeling, so the only difference from the Morton bench is the layout
+    # (strided quadrant views and per-level temporaries).
+    a, b = square_operands(512)
+    benchmark.pedantic(
+        lambda: peeled_multiply(np.asarray(a), np.asarray(b), truncation=128),
+        rounds=3, iterations=1,
+    )
+
+
+def test_winograd_schedule(benchmark, square_operands):
+    a, b = square_operands(N)
+    benchmark.pedantic(
+        lambda: modgemm(a, b, policy=HOST_POLICY, variant="winograd"),
+        rounds=3, iterations=1,
+    )
+
+
+def test_original_strassen_schedule(benchmark, square_operands):
+    a, b = square_operands(N)
+    benchmark.pedantic(
+        lambda: modgemm(a, b, policy=HOST_POLICY, variant="strassen"),
+        rounds=3, iterations=1,
+    )
+    plan = select_common_tiling((N, N, N))
+    emit(
+        "Winograd vs Strassen flop counts (paper range, n=513)",
+        f"winograd: {winograd_flops(plan):,} flops\n"
+        f"strassen: {strassen_original_flops(plan):,} flops",
+    )
+
+
+def test_with_conversion(benchmark, square_operands):
+    a, b = square_operands(N)
+    benchmark.pedantic(
+        lambda: modgemm(a, b, policy=HOST_POLICY), rounds=3, iterations=1
+    )
+
+
+def test_without_conversion(benchmark, square_operands):
+    a, b = square_operands(N)
+    plan = HOST_POLICY.plan(N, N, N)
+    tm, tk, tn = plan
+    a_mm = MortonMatrix.from_dense(np.asarray(a), tilings=(tm, tk))
+    b_mm = MortonMatrix.from_dense(np.asarray(b), tilings=(tk, tn))
+    c_mm = MortonMatrix.empty(N, N, tm, tn)
+    ws = Workspace(tm.depth, tm.tile, tk.tile, tn.tile, with_q=True)
+    benchmark.pedantic(
+        lambda: modgemm_morton(a_mm, b_mm, c_mm, workspace=ws),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,31 @@
+"""Figure 2 bench: padding under dynamic vs fixed tile selection.
+
+Times the full dynamic truncation-point search over the paper's size range
+and regenerates the padding table.
+"""
+
+from repro.experiments import fig2_padding
+from repro.layout.padding import select_tiling
+
+from conftest import emit
+
+
+def test_fig2_dynamic_selection_sweep(benchmark):
+    result = benchmark(lambda: fig2_padding.run(sizes=range(16, 1101)))
+    rows = {row[0]: row for row in result.rows}
+    # The paper's worked example and the headline contrast.
+    assert rows[513][2] == 528 and rows[513][3] == 1024
+    # Worst-case dynamic pad: 15 through n=1024, 31 for the next octave.
+    assert max(r[2] - r[1] for r in result.rows if 65 <= r[0] <= 1024) <= 15
+    assert max(r[2] - r[1] for r in result.rows if r[0] > 1024) <= 31
+    key = [rows[n] for n in (150, 256, 500, 512, 513, 700, 1000, 1024)]
+    emit(
+        "Figure 2 (n, original, padded_dynamic, padded_fixed32, tile)",
+        "\n".join(str(r) for r in key),
+    )
+
+
+def test_fig2_single_selection_cost(benchmark):
+    # The per-call planning cost MODGEMM pays at its interface.
+    t = benchmark(select_tiling, 513)
+    assert t.padded == 528

@@ -1,0 +1,61 @@
+"""Figure 5 bench: the three implementations, host wall-clock.
+
+Times each implementation at a representative large size and regenerates
+the normalised comparison over a reduced size grid (panel a: MODGEMM vs
+DGEFMM; panel b: DGEMMW vs DGEFMM).
+"""
+
+from repro.analysis.timing import TimingProtocol
+from repro.baselines.dgefmm import dgefmm
+from repro.baselines.dgemmw import dgemmw
+from repro.core.modgemm import modgemm
+from repro.experiments import fig56_perf
+from repro.experiments.tuning import (
+    HOST_DGEFMM_TRUNCATION,
+    HOST_DGEMMW_TRUNCATION,
+    HOST_POLICY,
+)
+
+from conftest import emit
+
+N = 513
+GRID = [150, 250, 350, 450, 513, 600, 700]
+FAST = TimingProtocol(small_threshold=0, small_reps=1, trials=2)
+
+
+def test_modgemm_headline_size(benchmark, square_operands):
+    a, b = square_operands(N)
+    benchmark.pedantic(
+        lambda: modgemm(a, b, policy=HOST_POLICY), rounds=5, iterations=1
+    )
+
+
+def test_dgefmm_headline_size(benchmark, square_operands):
+    a, b = square_operands(N)
+    benchmark.pedantic(
+        lambda: dgefmm(a, b, truncation=HOST_DGEFMM_TRUNCATION),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_dgemmw_headline_size(benchmark, square_operands):
+    a, b = square_operands(N)
+    benchmark.pedantic(
+        lambda: dgemmw(a, b, truncation=HOST_DGEMMW_TRUNCATION),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_fig5_normalised_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig56_perf.run_measured(sizes=GRID, protocol=FAST),
+        rounds=1,
+        iterations=1,
+    )
+    ratios = result.column("modgemm/dgefmm")
+    # The paper's band: wide variability, with wins for large sizes.
+    assert min(ratios) < 1.1, "MODGEMM should win (or tie) somewhere"
+    emit("Figure 5 (host wall-clock, normalised to DGEFMM)",
+         result.to_text(with_chart=False))

@@ -1,0 +1,39 @@
+"""Figure 6 bench: the modelled cross-platform axis (Alpha and Ultra).
+
+Times the full trace+simulate+model pipeline for one size and regenerates
+the normalised curves on both machine models at the scaled geometry.
+"""
+
+import pytest
+
+from repro.experiments import fig56_perf
+
+from conftest import emit
+
+GRID = [150, 300, 500, 513, 700, 1024]
+
+
+def test_model_pipeline_cost(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig56_perf.run_modeled(machine="ultra", sizes=[500], scale=16),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows[0][4] > 0
+
+
+@pytest.mark.parametrize("machine", ["alpha", "ultra"])
+def test_fig56_modeled_sweep(benchmark, machine):
+    result = benchmark.pedantic(
+        lambda: fig56_perf.run_modeled(machine=machine, sizes=GRID, scale=16),
+        rounds=1,
+        iterations=1,
+    )
+    ratios = result.column("modgemm/dgefmm")
+    # Paper band: -30%..+25% depending on size and platform.
+    assert min(ratios) < 1.25
+    assert max(ratios) < 2.0
+    emit(
+        f"Figure {'5' if machine == 'alpha' else '6'} modelled ({machine})",
+        result.to_text(with_chart=False),
+    )

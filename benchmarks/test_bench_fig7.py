@@ -1,0 +1,44 @@
+"""Figure 7 bench: Morton conversion cost as % of total execution.
+
+Times the conversion in isolation and regenerates the conversion-fraction
+curve (paper: ~15% small, ~5% large).
+"""
+
+import numpy as np
+
+from repro.analysis.timing import TimingProtocol
+from repro.experiments import fig7_conversion
+from repro.layout.convert import dense_to_morton
+from repro.layout.matrix import MortonMatrix
+from repro.layout.padding import select_common_tiling
+
+from conftest import emit
+
+FAST = TimingProtocol(small_threshold=0, small_reps=1, trials=2)
+
+
+def test_conversion_cost_513(benchmark, square_operands):
+    a, _ = square_operands(513)
+    plan = select_common_tiling((513, 513, 513))
+    out = MortonMatrix.empty(513, 513, plan[0], plan[1])
+    benchmark(dense_to_morton, np.asarray(a), out)
+
+
+def test_back_conversion_cost_513(benchmark, square_operands):
+    a, _ = square_operands(513)
+    m = MortonMatrix.from_dense(np.asarray(a))
+    benchmark(m.to_dense)
+
+
+def test_fig7_fraction_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig7_conversion.run(sizes=[150, 300, 513, 700], protocol=FAST),
+        rounds=1,
+        iterations=1,
+    )
+    pct = result.column("convert_pct")
+    # Decreasing with size (O(n^2) conversion vs O(n^2.8) compute) and a
+    # modest share of the total for large operands.
+    assert pct[-1] < pct[0]
+    assert pct[-1] < 50.0
+    emit("Figure 7 (conversion % of total)", result.to_text(with_chart=False))

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""BLAS drop-in: the full dgemm contract across all three implementations.
+
+The paper's Section 2.1 interface — ``C <- alpha * op(A) . op(B) + beta*C``
+— works identically on MODGEMM and the two baselines (DGEFMM, DGEMMW), so
+any of them can replace a dgemm call.  This example exercises transposes,
+scaling, and in-place accumulation, then times the three implementations
+head-to-head the way Figures 5/6 do.
+
+Run:  python examples/blas_drop_in.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import dgefmm, dgemmw, modgemm
+
+
+def demo_contract() -> None:
+    rng = np.random.default_rng(1)
+    m, k, n = 300, 200, 250
+    a = rng.standard_normal((k, m))   # stored transposed
+    b = rng.standard_normal((n, k))   # stored transposed
+    c = rng.standard_normal((m, n))
+    alpha, beta = 2.5, -0.5
+    reference = alpha * (a.T @ b.T) + beta * c
+
+    for name, fn in (("modgemm", modgemm), ("dgefmm", dgefmm), ("dgemmw", dgemmw)):
+        out = fn(a, b, c=c.copy(), alpha=alpha, beta=beta, op_a="t", op_b="t")
+        err = np.max(np.abs(out - reference))
+        print(f"{name:8s} C <- {alpha}*A^T.B^T + {beta}*C   max |err| = {err:.2e}")
+
+
+def demo_head_to_head(n: int = 700) -> None:
+    rng = np.random.default_rng(2)
+    a = np.asfortranarray(rng.standard_normal((n, n)))
+    b = np.asfortranarray(rng.standard_normal((n, n)))
+
+    def best_of(fn, reps: int = 3) -> float:
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    from repro.core.truncation import TruncationPolicy
+
+    host_policy = TruncationPolicy.dynamic(64, 256)
+    t_mod = best_of(lambda: modgemm(a, b, policy=host_policy))
+    t_dge = best_of(lambda: dgefmm(a, b, truncation=128))
+    t_gw = best_of(lambda: dgemmw(a, b, truncation=128))
+    t_np = best_of(lambda: a @ b)
+    print(f"\nhead-to-head at n={n} (best of 3):")
+    print(f"  modgemm : {t_mod * 1e3:8.1f} ms   ({t_mod / t_dge:5.2f} x dgefmm)")
+    print(f"  dgefmm  : {t_dge * 1e3:8.1f} ms   (1.00 x, the paper's baseline)")
+    print(f"  dgemmw  : {t_gw * 1e3:8.1f} ms   ({t_gw / t_dge:5.2f} x dgefmm)")
+    print(f"  numpy   : {t_np * 1e3:8.1f} ms   (host BLAS, conventional O(n^3))")
+
+
+if __name__ == "__main__":
+    demo_contract()
+    demo_head_to_head()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Cache study: reproduce and explain the paper's Section 4.2 anomaly.
+
+Traces MODGEMM and DGEFMM through the (geometry-scaled) 16 KB
+direct-mapped cache of the paper's ATOM experiment, prints the Figure 9
+miss-ratio table with its dramatic drop at the 513-analogue, and then
+derives *why* from the quadrant-conflict arithmetic.
+
+Run:  python examples/cache_study.py           (scaled, ~1 minute)
+      python examples/cache_study.py --full    (paper sizes, several minutes)
+"""
+
+import sys
+
+from repro.experiments import fig9_cache
+
+
+def main() -> None:
+    scale = 1 if "--full" in sys.argv else 4
+    print(f"simulating Figure 9 at scale 1/{scale} ...")
+    result = fig9_cache.run(scale=scale)
+    print(result.to_text())
+
+    print("\nWhy the drop happens (Section 4.2):\n")
+    print("Before the drop —")
+    print(fig9_cache.explain(505))
+    print("\nAfter the drop —")
+    print(fig9_cache.explain(513))
+    print(
+        "\nDynamic tile selection (Section 3.4) is what moves the padded "
+        "size off the power of two: 513 pads to 528 with tile 33 instead "
+        "of 1024 with tile 32, so the quadrant bases stop being congruent "
+        "modulo the cache size and the conflict misses vanish."
+    )
+
+    # The paper diagnosed the drop with CProf; our three-C classification
+    # (repro.cachesim.classify) makes the same diagnosis quantitative.
+    from repro.experiments import ext_miss_classification
+
+    print("\nThree-C decomposition across the window (CProf reproduction):")
+    print(ext_miss_classification.run(scale=16).to_text(with_chart=False))
+
+    # ... and the paper's closing future work — eliminating those conflict
+    # misses — is implemented as conflict-aware tile selection:
+    from repro.experiments import ext_conflict_aware
+
+    print("\nConflict-aware selection (the future work, realised):")
+    print(ext_conflict_aware.run(scale=scale if scale > 1 else 4)
+          .to_text(with_chart=False))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Tuning explorer: re-derive the host-tuned truncation parameters.
+
+The paper tunes each implementation's truncation point empirically per
+machine.  This script sweeps candidate tile ranges for MODGEMM and
+truncation points for DGEFMM/DGEMMW on *your* host and prints the
+winners — the values `repro.experiments.tuning` should hold for this
+machine.
+
+Run:  python examples/tuning_explorer.py [n]      (default n = 600)
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.baselines.dgefmm import dgefmm
+from repro.baselines.dgemmw import dgemmw
+from repro.core.modgemm import modgemm
+from repro.core.truncation import TruncationPolicy
+
+
+def best_of(fn, reps: int = 3) -> float:
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def show_profile(n: int) -> None:
+    """Where does a modgemm call spend its time on this host?"""
+    from repro.analysis.profiling import hotspot_table, profile_call
+
+    rng = np.random.default_rng(9)
+    a = np.asfortranarray(rng.standard_normal((n, n)))
+    b = np.asfortranarray(rng.standard_normal((n, n)))
+    for label, policy in (
+        ("paper range [16,64]", TruncationPolicy.dynamic(16, 64)),
+        ("host range [64,256]", TruncationPolicy.dynamic(64, 256)),
+    ):
+        hot = profile_call(lambda: modgemm(a, b, policy=policy), top=8)
+        print(f"\nhotspots, {label}, n={n}:")
+        print(hotspot_table(hot))
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("-")]
+    if "--profile" in sys.argv:
+        show_profile(int(args[0]) if args else 513)
+        return
+    n = int(args[0]) if args else 600
+    rng = np.random.default_rng(4)
+    a = np.asfortranarray(rng.standard_normal((n, n)))
+    b = np.asfortranarray(rng.standard_normal((n, n)))
+
+    print(f"MODGEMM tile-range sweep at n={n}:")
+    ranges = [(16, 64), (32, 128), (48, 128), (64, 256), (96, 384), (128, 512)]
+    results = []
+    for lo, hi in ranges:
+        t = best_of(lambda: modgemm(a, b, policy=TruncationPolicy.dynamic(lo, hi)))
+        results.append(((lo, hi), t))
+        print(f"  [{lo:3d}, {hi:3d}] : {t * 1e3:8.1f} ms")
+    best_range, _ = min(results, key=lambda x: x[1])
+    print(f"  -> best range {best_range}")
+
+    for name, fn in (("DGEFMM", dgefmm), ("DGEMMW", dgemmw)):
+        print(f"\n{name} truncation sweep at n={n}:")
+        results = []
+        for trunc in (32, 64, 96, 128, 192, 256):
+            t = best_of(lambda: fn(a, b, truncation=trunc))
+            results.append((trunc, t))
+            print(f"  {trunc:4d} : {t * 1e3:8.1f} ms")
+        best_trunc, _ = min(results, key=lambda x: x[1])
+        print(f"  -> best truncation {best_trunc}")
+
+    print(
+        "\n(The paper's 16..64 range reflects 1998 L1 caches and C-loop "
+        "leaf kernels; on a numpy substrate the per-leaf dispatch overhead "
+        "moves the sweet spot upward.  The cache-simulation experiments "
+        "keep the paper's range — there the substrate is the simulated "
+        "1998 machine.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline editable install).
+
+`pip install -e .` requires bdist_wheel under PEP 517; this shim lets
+`python setup.py develop` perform the equivalent editable install offline.
+Configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro — reproduction of *Tuning Strassen's Matrix Multiplication for
+Memory Efficiency* (Thottethodi, Chatterjee & Lebeck, SC 1998).
+
+Quick start::
+
+    import numpy as np
+    import repro
+
+    a = np.random.default_rng(0).standard_normal((513, 513))
+    b = np.random.default_rng(1).standard_normal((513, 513))
+    c = repro.modgemm(a, b)            # Morton-order Strassen-Winograd
+    assert np.allclose(c, a @ b)
+
+Package map (see DESIGN.md for the full architecture):
+
+* :mod:`repro.core` — MODGEMM: the Strassen-Winograd recursion over
+  Morton-ordered buffers with dynamic truncation-point selection.
+* :mod:`repro.layout` — the Morton (quadtree) layout engine and the
+  padding-minimising tile search.
+* :mod:`repro.baselines` — DGEFMM (dynamic peeling), DGEMMW (dynamic
+  overlap), and conventional kernels.
+* :mod:`repro.cachesim` — trace-driven cache simulation of the paper's
+  platforms (the ATOM substitute).
+* :mod:`repro.analysis` — timing protocol, operation counts, accuracy.
+* :mod:`repro.experiments` — one runner per paper figure
+  (``python -m repro.experiments all``).
+"""
+
+from .blas.dgemm import GemmProblem, OpKind, dgemm_reference
+from .core.modgemm import modgemm, modgemm_morton, PhaseTimings
+from .core.truncation import TruncationPolicy
+from .layout.matrix import MortonMatrix
+from .layout.padding import TileRange, Tiling, select_tiling, select_common_tiling
+from .baselines.dgefmm import dgefmm
+from .baselines.dgemmw import dgemmw
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "modgemm",
+    "modgemm_morton",
+    "PhaseTimings",
+    "TruncationPolicy",
+    "MortonMatrix",
+    "TileRange",
+    "Tiling",
+    "select_tiling",
+    "select_common_tiling",
+    "GemmProblem",
+    "OpKind",
+    "dgemm_reference",
+    "dgefmm",
+    "dgemmw",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Measurement and analysis utilities.
+
+* :mod:`repro.analysis.timing` — the paper's timing protocol (Section 4):
+  averages of repeated invocations for small sizes, minimum of repeated
+  experiments.
+* :mod:`repro.analysis.flops` — closed-form operation counts for every
+  algorithm variant (cross-checked against the instrumented recursions).
+* :mod:`repro.analysis.accuracy` — numerical-error measurement for the
+  fast algorithms.
+* :mod:`repro.analysis.plotting` — ASCII rendering of the paper's figures
+  for terminal output (no plotting dependencies).
+"""
+
+from .timing import TimingProtocol, measure
+from .flops import (
+    conventional_flops,
+    winograd_flops,
+    winograd_add_count,
+    strassen_original_flops,
+    dgefmm_flops,
+    leaf_mult_count,
+)
+from .accuracy import max_relative_error
+from .plotting import ascii_chart, format_table
+from .profiling import Hotspot, profile_call, hotspot_table
+
+__all__ = [
+    "TimingProtocol",
+    "measure",
+    "conventional_flops",
+    "winograd_flops",
+    "winograd_add_count",
+    "strassen_original_flops",
+    "dgefmm_flops",
+    "leaf_mult_count",
+    "max_relative_error",
+    "ascii_chart",
+    "format_table",
+    "Hotspot",
+    "profile_call",
+    "hotspot_table",
+]

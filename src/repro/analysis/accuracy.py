@@ -1,0 +1,51 @@
+"""Numerical-accuracy measurement for the fast multiplication variants.
+
+The paper defers numerical analysis to Higham's treatment; for a usable
+library we still verify and expose the error behaviour: Strassen-type
+algorithms satisfy a normwise bound ``|C - C*| <= c(n) * u * |A| |B|``
+with ``c(n)`` polynomially larger than the conventional algorithm's
+(Higham, *Accuracy and Stability of Numerical Algorithms*, ch. 23).  The
+helpers here quantify that growth empirically; tests assert sane margins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["max_relative_error", "error_vs_reference", "higham_bound_factor"]
+
+
+def max_relative_error(c: np.ndarray, ref: np.ndarray) -> float:
+    """Max-norm relative error of ``c`` against reference ``ref``."""
+    if c.shape != ref.shape:
+        raise ValueError(f"shape mismatch: {c.shape} vs {ref.shape}")
+    denom = max(1.0, float(np.max(np.abs(ref))))
+    return float(np.max(np.abs(c - ref))) / denom
+
+
+def error_vs_reference(
+    multiply,
+    m: int,
+    k: int,
+    n: int,
+    seed: int = 0,
+) -> float:
+    """Measured max relative error of ``multiply(a, b)`` on random operands."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    return max_relative_error(np.asarray(multiply(a, b)), a @ b)
+
+
+def higham_bound_factor(n: int, truncation: int, unit: float = 2.0**-53) -> float:
+    """Normwise error-bound coefficient for Strassen-Winograd (Higham 23.x).
+
+    For recursion from size ``n`` down to leaf size ``n0``,
+    ``c(n) ~ (n0^2) * (n/n0)^log2(18) - 5 n`` up to modest constants; we
+    return ``c(n) * u`` as a conservative tolerance scale for tests.
+    """
+    if n <= truncation:
+        return n * unit * 8
+    ratio = n / truncation
+    c = (truncation**2 + 5 * truncation) * ratio ** np.log2(18) - 5 * n
+    return float(abs(c) * unit)

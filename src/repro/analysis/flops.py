@@ -1,0 +1,123 @@
+"""Closed-form floating-point operation counts for every variant.
+
+These formulas are the analytical twins of the instrumented recursions
+(:class:`repro.cachesim.tracegen.TraceOps` tallies the same quantities by
+construction); the test-suite checks they agree exactly, which pins down
+both the schedule (7 products, 15 additions for Winograd; 18 for original
+Strassen) and the padding arithmetic.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..layout.padding import Tiling
+
+__all__ = [
+    "conventional_flops",
+    "leaf_mult_count",
+    "winograd_add_count",
+    "winograd_flops",
+    "strassen_original_flops",
+    "dgefmm_flops",
+    "dgemmw_flops",
+]
+
+
+def conventional_flops(m: int, k: int, n: int) -> int:
+    """Multiply-add count of the conventional product (2mkn)."""
+    return 2 * m * k * n
+
+
+def leaf_mult_count(depth: int) -> int:
+    """Number of leaf multiplications of a depth-``d`` Strassen recursion."""
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    return 7**depth
+
+
+def winograd_add_count(depth: int, pm: int, pk: int, pn: int) -> int:
+    """Element-additions of the Winograd schedule over padded dims.
+
+    Level ``l`` (1-based from the top) runs ``7**(l-1)`` node expansions;
+    each performs 4 A-shaped, 4 B-shaped and 7 C-shaped quarter-size
+    additions (the minimum 15).
+    """
+    total = 0
+    nodes = 1
+    m, k, n = pm, pk, pn
+    for _ in range(depth):
+        m //= 2
+        k //= 2
+        n //= 2
+        total += nodes * (4 * m * k + 4 * k * n + 7 * m * n)
+        nodes *= 7
+    return total
+
+
+def winograd_flops(tilings: "tuple[Tiling, Tiling, Tiling]") -> int:
+    """Total flops of a planned MODGEMM product (Winograd variant)."""
+    tm, tk, tn = tilings
+    d = tm.depth
+    mults = leaf_mult_count(d) * conventional_flops(tm.tile, tk.tile, tn.tile)
+    return mults + winograd_add_count(d, tm.padded, tk.padded, tn.padded)
+
+
+def strassen_original_flops(tilings: "tuple[Tiling, Tiling, Tiling]") -> int:
+    """Total flops of the original Strassen schedule (18 additions/level).
+
+    Per level: 10 operand-forming additions (5 A-shaped, 5 B-shaped) and
+    8 C-shaped combination additions.
+    """
+    tm, tk, tn = tilings
+    d = tm.depth
+    total = leaf_mult_count(d) * conventional_flops(tm.tile, tk.tile, tn.tile)
+    nodes = 1
+    m, k, n = tm.padded, tk.padded, tn.padded
+    for _ in range(d):
+        m //= 2
+        k //= 2
+        n //= 2
+        total += nodes * (5 * m * k + 5 * k * n + 8 * m * n)
+        nodes *= 7
+    return total
+
+
+@lru_cache(maxsize=4096)
+def dgemmw_flops(m: int, k: int, n: int, truncation: int = 64) -> int:
+    """Flops of the dynamic-overlap recursion (mirrors baselines.dgemmw).
+
+    Overlapping ceil-half blocks mean every sub-product is
+    ``ceil(m/2) x ceil(k/2) x ceil(n/2)`` — the redundant arithmetic on the
+    duplicated strips is exactly the "extra computations" the paper
+    attributes to this scheme.  Block copies are data movement, not flops.
+    """
+    if min(m, k, n) <= truncation:
+        return conventional_flops(m, k, n)
+    mh, kh, nh = (m + 1) // 2, (k + 1) // 2, (n + 1) // 2
+    total = 7 * dgemmw_flops(mh, kh, nh, truncation)
+    total += 4 * mh * kh + 4 * kh * nh + 7 * mh * nh  # the 15 additions
+    return total
+
+
+@lru_cache(maxsize=4096)
+def dgefmm_flops(m: int, k: int, n: int, truncation: int = 64) -> int:
+    """Flops of the dynamic-peeling recursion (mirrors baselines.dgefmm).
+
+    Counts the conventional leaf products, the 15 Winograd additions per
+    level, and the peeling fix-ups (rank-1 update, matrix-vector and
+    vector-matrix products).
+    """
+    if min(m, k, n) <= truncation:
+        return conventional_flops(m, k, n)
+    me, ke, ne = m & ~1, k & ~1, n & ~1
+    mh, kh, nh = me // 2, ke // 2, ne // 2
+    total = 7 * dgefmm_flops(mh, kh, nh, truncation)
+    total += 4 * mh * kh + 4 * kh * nh + 7 * mh * nh  # the 15 additions
+    if k != ke:
+        total += 2 * me * ne  # rank-1 fix-up
+    if n != ne:
+        total += 2 * me * k  # last column, matrix-vector
+    if m != me:
+        total += 2 * k * n  # last row, vector-matrix
+    return total

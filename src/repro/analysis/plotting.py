@@ -1,0 +1,100 @@
+"""Dependency-free ASCII rendering of tables and line charts.
+
+The experiment CLI reproduces the paper's figures as terminal output; no
+plotting stack is assumed (the environment is offline).  Charts are plain
+scatter/line grids with one glyph per series, enough to see the crossovers
+and anomalies the paper's figures exhibit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["ascii_chart", "format_table"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 4,
+) -> str:
+    """Fixed-width text table with right-aligned numeric formatting."""
+
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.{precision}g}"
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(c.rjust(w) for c, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render ``{label: (xs, ys)}`` as an ASCII scatter chart."""
+    if not series:
+        raise ValueError("no series to plot")
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    if not all_x:
+        raise ValueError("series are empty")
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    if x_max == x_min:
+        x_max = x_min + 1
+    if y_max == y_min:
+        y_max = y_min + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, (xs, ys)), glyph in zip(series.items(), _GLYPHS):
+        for x, y in zip(xs, ys):
+            cx = round((x - x_min) / (x_max - x_min) * (width - 1))
+            cy = round((y - y_min) / (y_max - y_min) * (height - 1))
+            row = height - 1 - cy
+            cell = grid[row][cx]
+            grid[row][cx] = glyph if cell in (" ", glyph) else "?"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top = f"{y_max:.4g}"
+    bottom = f"{y_min:.4g}"
+    margin = max(len(top), len(bottom), len(y_label)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top.rjust(margin)
+        elif r == height - 1:
+            prefix = bottom.rjust(margin)
+        elif r == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_min:.4g}".ljust(width - 10) + f"{x_max:.4g}".rjust(10)
+    lines.append(" " * (margin + 1) + x_axis)
+    if x_label:
+        lines.append(" " * (margin + 1) + x_label.center(width))
+    legend = "   ".join(
+        f"{glyph}={label}" for (label, _), glyph in zip(series.items(), _GLYPHS)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

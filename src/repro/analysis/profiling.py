@@ -1,0 +1,57 @@
+"""Hotspot profiling helper ("no optimisation without measuring").
+
+A thin cProfile wrapper that runs a callable and returns the top hotspots
+as structured rows — used by ``examples/tuning_explorer.py --profile`` to
+show where a modgemm call actually spends its time on the host (leaf BLAS
+calls vs Morton conversion vs recursion bookkeeping), which is the
+evidence behind the host-tuned truncation defaults.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Hotspot", "profile_call", "hotspot_table"]
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One function's aggregate cost within a profiled call."""
+
+    function: str  #: "file:line(name)" as reported by pstats
+    calls: int
+    total_time: float  #: own time, excluding callees (seconds)
+    cumulative: float  #: including callees (seconds)
+
+
+def profile_call(fn: Callable[[], object], top: int = 10) -> list[Hotspot]:
+    """Run ``fn`` under cProfile; return the ``top`` own-time hotspots."""
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        fn()
+    finally:
+        prof.disable()
+    stats = pstats.Stats(prof)
+    rows: list[Hotspot] = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        filename, line, name = func
+        label = f"{filename.rsplit('/', 1)[-1]}:{line}({name})"
+        rows.append(Hotspot(function=label, calls=nc, total_time=tt, cumulative=ct))
+    rows.sort(key=lambda h: h.total_time, reverse=True)
+    return rows[:top]
+
+
+def hotspot_table(hotspots: list[Hotspot]) -> str:
+    """Fixed-width rendering of :func:`profile_call` output."""
+    from .plotting import format_table
+
+    return format_table(
+        ("own_s", "cum_s", "calls", "function"),
+        [(h.total_time, h.cumulative, h.calls, h.function) for h in hotspots],
+    )

@@ -1,0 +1,59 @@
+"""The paper's timing protocol (Section 4), on a modern clock.
+
+"We timed the execution ... for matrix sizes ranging from 150 to 1024 ...
+For matrices less than 500 we compute the average of 10 invocations of the
+algorithm to overcome limits in clock resolution. ... we execute the above
+experiments three times for each matrix size, and use the minimum value
+for comparison."
+
+:class:`TimingProtocol` parameterises exactly that scheme; the defaults
+match the paper.  ``time.perf_counter`` replaces ``getrusage`` — on an
+otherwise idle host the min-of-trials discipline filters scheduling noise
+the same way.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["TimingProtocol", "measure"]
+
+
+@dataclass(frozen=True)
+class TimingProtocol:
+    """min over ``trials`` of (mean over ``reps(size)`` invocations)."""
+
+    small_threshold: int = 500  #: sizes below this average several calls
+    small_reps: int = 10
+    trials: int = 3
+
+    def reps(self, size: int) -> int:
+        """Invocations per trial for a given matrix size."""
+        return self.small_reps if size < self.small_threshold else 1
+
+    def run(self, fn: Callable[[], object], size: int) -> float:
+        """Best average seconds per invocation of ``fn``."""
+        reps = self.reps(size)
+        best = float("inf")
+        for _ in range(self.trials):
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                fn()
+            elapsed = (time.perf_counter() - t0) / reps
+            best = min(best, elapsed)
+        return best
+
+
+#: A cheaper protocol for smoke tests and CI, same structure.
+QUICK_PROTOCOL = TimingProtocol(small_threshold=0, small_reps=1, trials=1)
+
+
+def measure(
+    fn: Callable[[], object],
+    size: int,
+    protocol: TimingProtocol | None = None,
+) -> float:
+    """Measure ``fn`` under the paper's protocol (or a supplied one)."""
+    return (protocol or TimingProtocol()).run(fn, size)

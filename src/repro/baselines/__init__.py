@@ -1,0 +1,24 @@
+"""The competing implementations the paper evaluates against (Section 4).
+
+* :func:`dgefmm` — Strassen-Winograd with *dynamic peeling* of odd
+  rows/columns (Huss-Lederman, Jacobson, Johnson, Tsao, Turnbull, SC'96),
+  fixed recursion truncation point 64, column-major storage throughout.
+* :func:`dgemmw` — Strassen-Winograd with *dynamic overlap* (Douglas,
+  Heroux, Slishman, Smith, J. Comp. Phys. 1994): odd dimensions split into
+  overlapping ceil-half blocks.
+* :mod:`repro.baselines.conventional` — the O(n^3) kernels every Strassen
+  variant truncates into, plus the plain dgemm used for ground truth.
+"""
+
+from .conventional import conventional_gemm, tiled_gemm
+from .dgefmm import dgefmm, peeled_multiply
+from .dgemmw import dgemmw, overlap_multiply
+
+__all__ = [
+    "conventional_gemm",
+    "tiled_gemm",
+    "dgefmm",
+    "peeled_multiply",
+    "dgemmw",
+    "overlap_multiply",
+]

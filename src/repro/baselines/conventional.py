@@ -1,0 +1,77 @@
+"""Conventional O(n^3) matrix multiplication baselines.
+
+:func:`conventional_gemm` is the straight dgemm every figure normalises
+against conceptually (the host BLAS through numpy); :func:`tiled_gemm` is
+an explicitly tiled version whose tile traffic matches the access pattern
+studied in Figure 3 (submatrix multiplies with a controllable leading
+dimension).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..blas.dgemm import GemmProblem, OpKind
+from ..blas.kernels import LeafKernel, get_kernel
+
+__all__ = ["conventional_gemm", "tiled_gemm"]
+
+
+def conventional_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    op_a: "OpKind | str" = "n",
+    op_b: "OpKind | str" = "n",
+) -> np.ndarray:
+    """Plain ``C <- alpha*op(A).op(B) + beta*C`` via the host BLAS."""
+    p = GemmProblem.create(a, b, op_a=op_a, op_b=op_b, alpha=alpha, beta=beta, c=c)
+    d = p.op_a_view @ p.op_b_view
+    result = p.apply_scaling(d, c)
+    if c is not None and result is not c:
+        c[...] = result
+        return c
+    return result
+
+
+def tiled_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    tile: int = 32,
+    kernel: "str | LeafKernel" = "numpy",
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Three-level tiled product ``out = a @ b`` with ``tile x tile`` blocks.
+
+    The j-k-i tile order streams column panels of the output — the
+    column-major-friendly order the paper's leaf kernel uses.  Used by the
+    Figure 3 experiment, where the interesting quantity is the cache
+    behaviour of the individual tile products, and as a slow-but-honest
+    reference for the cache-trace generators.
+    """
+    if tile < 1:
+        raise ValueError(f"tile must be >= 1, got {tile}")
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions disagree: {a.shape} x {b.shape}")
+    kern = get_kernel(kernel)
+    if out is None:
+        out = np.zeros((m, n), dtype=np.float64, order="F")
+    else:
+        if out.shape != (m, n):
+            raise ValueError(f"out shape {out.shape} != {(m, n)}")
+        out[...] = 0.0
+    for j0 in range(0, n, tile):
+        j1 = min(j0 + tile, n)
+        for k0 in range(0, k, tile):
+            k1 = min(k0 + tile, k)
+            for i0 in range(0, m, tile):
+                i1 = min(i0 + tile, m)
+                kern(
+                    a[i0:i1, k0:k1], b[k0:k1, j0:j1], out[i0:i1, j0:j1],
+                    accumulate=True,
+                )
+    return out

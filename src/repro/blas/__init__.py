@@ -1,0 +1,29 @@
+"""Level-3 BLAS substrate: the `dgemm` interface contract and leaf kernels.
+
+The paper's implementation "follows the same calling conventions as the
+dgemm subroutine in the Level 3 BLAS library" (Section 2.1):
+``C <- alpha * op(A) . op(B) + beta * C`` with column-major operands and
+explicit leading dimensions.  :mod:`repro.blas.dgemm` expresses and
+validates that contract; :mod:`repro.blas.kernels` provides the conventional
+matrix-multiplication kernels used below the recursion truncation point.
+"""
+
+from .dgemm import GemmProblem, OpKind, dgemm_reference
+from .kernels import (
+    leaf_matmul,
+    blocked_matmul,
+    naive_matmul,
+    KERNELS,
+    get_kernel,
+)
+
+__all__ = [
+    "GemmProblem",
+    "OpKind",
+    "dgemm_reference",
+    "leaf_matmul",
+    "blocked_matmul",
+    "naive_matmul",
+    "KERNELS",
+    "get_kernel",
+]

@@ -1,0 +1,133 @@
+"""Leaf (below-truncation-point) matrix-multiplication kernels.
+
+A significant fraction of the Strassen-Winograd computation happens in the
+routine that multiplies tiles once the recursion truncates (Section 3.3),
+so the kernel is pluggable:
+
+* ``"numpy"`` — :func:`leaf_matmul`, delegating to ``numpy.matmul`` (the
+  host BLAS).  This is the production kernel; the paper's hand-tuned C
+  kernel plays the same role (see DESIGN.md, substitutions).
+* ``"blocked"`` — :func:`blocked_matmul`, a register-blocking-style
+  two-level loop nest in pure numpy.  Orders of magnitude slower, but its
+  access pattern is exactly the one the trace generators model, so it
+  documents and cross-checks the cache-simulation substrate.
+* ``"naive"`` — :func:`naive_matmul`, the textbook triple loop (tests only).
+
+All kernels have the same signature::
+
+    kernel(a, b, out, accumulate=False)
+
+with 2-D array views ``a (m,k)``, ``b (k,n)``, ``out (m,n)``; ``accumulate``
+adds into ``out`` instead of overwriting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+__all__ = [
+    "LeafKernel",
+    "leaf_matmul",
+    "blocked_matmul",
+    "naive_matmul",
+    "KERNELS",
+    "get_kernel",
+]
+
+
+class LeafKernel(Protocol):
+    """Callable signature every leaf kernel satisfies."""
+
+    def __call__(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray, accumulate: bool = False
+    ) -> None: ...
+
+
+def leaf_matmul(
+    a: np.ndarray, b: np.ndarray, out: np.ndarray, accumulate: bool = False
+) -> None:
+    """BLAS-backed kernel: ``out (+)= a @ b``.
+
+    ``numpy.matmul`` with an ``out=`` argument requires a C-contiguous
+    destination; Morton leaf tiles are Fortran-order views, so we instead
+    compute ``(b.T @ a.T)`` into ``out.T`` — the same product, with the
+    transposed destination C-contiguous exactly when ``out`` is
+    F-contiguous.  Falls back to a temporary for exotic strides.
+    """
+    if accumulate:
+        out += a @ b
+        return
+    ot = out.T
+    if ot.flags.c_contiguous and a.dtype == b.dtype == out.dtype:
+        np.matmul(b.T, a.T, out=ot)
+    elif out.flags.c_contiguous and a.dtype == b.dtype == out.dtype:
+        np.matmul(a, b, out=out)
+    else:
+        out[...] = a @ b
+
+
+def blocked_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray,
+    accumulate: bool = False,
+    block: int = 8,
+) -> None:
+    """Two-level blocked j-k-i loop nest (column-major friendly).
+
+    The loop order walks ``out`` and ``a`` down columns — the layout of
+    Morton leaf tiles — in ``block``-wide panels.  This mirrors the access
+    pattern of :func:`repro.cachesim.tracegen.matmul_trace`, which is the
+    instrumented twin of this kernel.
+    """
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2 or out.shape != (m, n):
+        raise ValueError(f"shape mismatch: a {a.shape}, b {b.shape}, out {out.shape}")
+    if not accumulate:
+        out[...] = 0.0
+    for j0 in range(0, n, block):
+        j1 = min(j0 + block, n)
+        for k0 in range(0, k, block):
+            k1 = min(k0 + block, k)
+            # (m x kb) @ (kb x jb) panel update, vectorised over rows.
+            out[:, j0:j1] += a[:, k0:k1] @ b[k0:k1, j0:j1]
+
+
+def naive_matmul(
+    a: np.ndarray, b: np.ndarray, out: np.ndarray, accumulate: bool = False
+) -> None:
+    """Textbook i-j-k triple loop.  For correctness tests on tiny inputs only."""
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2 or out.shape != (m, n):
+        raise ValueError(f"shape mismatch: a {a.shape}, b {b.shape}, out {out.shape}")
+    if not accumulate:
+        out[...] = 0.0
+    for i in range(m):
+        for j in range(n):
+            acc = 0.0
+            for p in range(k):
+                acc += a[i, p] * b[p, j]
+            out[i, j] += acc
+
+
+KERNELS: dict[str, Callable] = {
+    "numpy": leaf_matmul,
+    "blocked": blocked_matmul,
+    "naive": naive_matmul,
+}
+
+
+def get_kernel(kernel: "str | LeafKernel") -> LeafKernel:
+    """Resolve a kernel by name or pass a callable through."""
+    if callable(kernel):
+        return kernel
+    try:
+        return KERNELS[kernel]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; available: {sorted(KERNELS)}"
+        ) from None

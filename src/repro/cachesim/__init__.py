@@ -1,0 +1,63 @@
+"""Trace-driven cache simulation substrate.
+
+The paper analyses its implementations with ATOM-generated address traces
+fed to a cache simulator (Section 4.2, Figure 9) and explains performance
+through L1 behaviour (Figure 3).  Neither ATOM nor the 1998 hardware is
+available, so this package provides the equivalent:
+
+* :mod:`repro.cachesim.cache` — cache geometry configs and a per-set LRU
+  set-associative simulator;
+* :mod:`repro.cachesim.vectorized` — a streaming, fully vectorised
+  direct-mapped simulator (numpy stable-argsort trick) that handles
+  hundreds of millions of accesses;
+* :mod:`repro.cachesim.hierarchy` — multi-level composition (L1 misses
+  form the L2 trace, and so on);
+* :mod:`repro.cachesim.trace` — address-trace plumbing: sinks, collectors,
+  and a malloc-like synthetic address space;
+* :mod:`repro.cachesim.tracegen` — instrumented twins of every kernel and
+  of the full MODGEMM / DGEFMM executions, emitting exact element-level
+  address streams;
+* :mod:`repro.cachesim.machines` — the paper's two platforms (DEC Alpha
+  Miata, Sun Ultra 60) and the ATOM experiment geometry, plus exact
+  geometric scaling;
+* :mod:`repro.cachesim.timemodel` — the linear time model that converts
+  flop and miss counts into modelled execution time.
+"""
+
+from .cache import CacheConfig, CacheStats, LRUCache
+from .vectorized import DirectMappedCache
+from .hierarchy import CacheHierarchy, make_cache
+from .trace import AddressSpace, TraceCollector, SimulatorSink, CountingSink, TraceSink
+from .machines import (
+    Machine,
+    ALPHA_MIATA,
+    SUN_ULTRA60,
+    ATOM_EXPERIMENT,
+    scale_machine,
+)
+from .timemodel import TimingModel
+from .classify import MissClasses, RegionMap, classify_misses, stack_distances
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "LRUCache",
+    "DirectMappedCache",
+    "CacheHierarchy",
+    "make_cache",
+    "AddressSpace",
+    "TraceCollector",
+    "SimulatorSink",
+    "CountingSink",
+    "TraceSink",
+    "Machine",
+    "ALPHA_MIATA",
+    "SUN_ULTRA60",
+    "ATOM_EXPERIMENT",
+    "scale_machine",
+    "TimingModel",
+    "MissClasses",
+    "RegionMap",
+    "classify_misses",
+    "stack_distances",
+]

@@ -1,0 +1,130 @@
+"""The paper's evaluation platforms as cache-simulation machine models.
+
+Geometries are taken from Section 4 verbatim:
+
+* DEC Alpha Miata, 500 MHz 21164 — 8 KB direct-mapped L1, 96 KB 3-way L2,
+  2 MB direct-mapped L3;
+* Sun Ultra 60, 300 MHz UltraSPARC II — 16 KB L1 (direct-mapped, 32-byte
+  blocks), 2 MB L2 (one processor used);
+* the ATOM cache experiment of Section 4.2 — a single 16 KB direct-mapped
+  cache with 32-byte blocks.
+
+Peak flop rates follow the processors' 2-flops/cycle pipelines; the miss
+penalties are plausible mid-1990s latencies.  These feed the *linear time
+model* only — the reproduction's claims rest on simulated miss counts and
+measured host wall-clock, with the model providing the paper's
+"second platform" (see DESIGN.md substitutions).
+
+:func:`scale_machine` divides every capacity and block size by a common
+power-of-two factor.  Because conflict phenomena depend only on address
+*ratios* (which buffer offsets are congruent modulo the cache size), a
+geometry-scaled run of a geometry-scaled workload reproduces full-scale
+conflict behaviour at a fraction of the trace length — this is how the
+default Figure 9 experiment stays laptop-sized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .cache import CacheConfig
+
+__all__ = [
+    "Machine",
+    "ALPHA_MIATA",
+    "SUN_ULTRA60",
+    "ATOM_EXPERIMENT",
+    "scale_machine",
+    "MACHINES",
+]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A platform: cache hierarchy plus linear-time-model parameters."""
+
+    name: str
+    levels: tuple[CacheConfig, ...]
+    peak_flops: float  #: flops/second at full pipeline
+    miss_penalties: tuple[float, ...]  #: seconds per miss, one per level
+
+    def __post_init__(self) -> None:
+        if len(self.levels) != len(self.miss_penalties):
+            raise ValueError(
+                f"{len(self.levels)} cache levels but "
+                f"{len(self.miss_penalties)} miss penalties"
+            )
+        if not self.levels:
+            raise ValueError("a machine needs at least one cache level")
+
+
+ALPHA_MIATA = Machine(
+    name="alpha-miata",
+    levels=(
+        CacheConfig(8 * 1024, 32, assoc=1, name="L1"),
+        CacheConfig(96 * 1024, 64, assoc=3, name="L2"),
+        CacheConfig(2 * 1024 * 1024, 64, assoc=1, name="L3"),
+    ),
+    peak_flops=1.0e9,  # 500 MHz x 2 flops/cycle
+    miss_penalties=(20e-9, 60e-9, 200e-9),
+)
+
+SUN_ULTRA60 = Machine(
+    name="sun-ultra60",
+    levels=(
+        CacheConfig(16 * 1024, 32, assoc=1, name="L1"),
+        CacheConfig(2 * 1024 * 1024, 64, assoc=1, name="L2"),
+    ),
+    peak_flops=0.6e9,  # 300 MHz x 2 flops/cycle
+    miss_penalties=(33e-9, 266e-9),
+)
+
+ATOM_EXPERIMENT = Machine(
+    name="atom-16k-dm",
+    levels=(CacheConfig(16 * 1024, 32, assoc=1, name="L1"),),
+    peak_flops=1.0e9,
+    miss_penalties=(100e-9,),
+)
+
+MACHINES = {
+    "alpha": ALPHA_MIATA,
+    "ultra": SUN_ULTRA60,
+    "atom": ATOM_EXPERIMENT,
+}
+
+
+def scale_machine(
+    machine: Machine, factor: int, scale_blocks: bool = False
+) -> Machine:
+    """Shrink every cache capacity by ``factor`` (a power of two).
+
+    Pair with matrix dimensions scaled by ``sqrt(factor)`` so that every
+    buffer's *byte* footprint shrinks by the same factor as the caches —
+    all base-address congruences modulo the cache size (the source of the
+    paper's conflict-miss anomaly, Section 4.2) are then preserved exactly.
+
+    Block sizes are kept at full size by default: conflict alignment does
+    not depend on them, while shrinking them would destroy the spatial
+    locality that sets the paper's absolute miss-ratio levels.  Pass
+    ``scale_blocks=True`` to shrink them too (floored at one float64).
+    Associativities, flop rates and penalties are untouched.
+    """
+    if factor < 1 or (factor & (factor - 1)):
+        raise ValueError(f"factor must be a positive power of two, got {factor}")
+    if factor == 1:
+        return machine
+    levels = []
+    for lv in machine.levels:
+        block = max(8, lv.block_bytes // factor) if scale_blocks else lv.block_bytes
+        size = lv.size_bytes // factor
+        if size < block * lv.assoc:
+            raise ValueError(
+                f"cannot scale {lv.name} ({lv.size_bytes} B) by {factor}"
+            )
+        levels.append(replace(lv, size_bytes=size, block_bytes=block))
+    return Machine(
+        name=f"{machine.name}/{factor}x",
+        levels=tuple(levels),
+        peak_flops=machine.peak_flops,
+        miss_penalties=machine.miss_penalties,
+    )

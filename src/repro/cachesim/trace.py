@@ -1,0 +1,133 @@
+"""Address-trace plumbing: sinks, collectors, and a synthetic address space.
+
+Traces are streamed, not materialised: generators push int64 chunks of byte
+addresses into a :class:`TraceSink`, which either simulates them on the fly
+(:class:`SimulatorSink`), stores them (:class:`TraceCollector`, for tests
+and small experiments) or just counts (:class:`CountingSink`).  Full-scale
+Figure 9 runs produce hundreds of millions of accesses; streaming keeps the
+memory footprint at one chunk.
+
+:class:`AddressSpace` is a malloc-like allocator for generators that model
+code paths we do not execute for real (the DGEFMM twin): first-fit with
+block coalescing, 64-byte alignment, so temporaries allocated/freed per
+recursion level reuse addresses the way a real allocator would.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from .hierarchy import CacheHierarchy
+
+__all__ = [
+    "TraceSink",
+    "TraceCollector",
+    "SimulatorSink",
+    "CountingSink",
+    "AddressSpace",
+]
+
+ELEM = 8  #: bytes per float64 element
+
+
+class TraceSink(Protocol):
+    """Anything that can receive address-trace chunks."""
+
+    def consume(self, addrs: np.ndarray) -> None:
+        """Accept one chunk of byte addresses (int64, program order)."""
+
+
+class TraceCollector:
+    """Stores chunks; ``concatenate()`` yields the whole trace."""
+
+    def __init__(self) -> None:
+        self.chunks: list[np.ndarray] = []
+        self.total = 0
+
+    def consume(self, addrs: np.ndarray) -> None:
+        """Append one chunk of byte addresses."""
+        a = np.asarray(addrs, dtype=np.int64).ravel()
+        if a.size:
+            self.chunks.append(a)
+            self.total += a.size
+
+    def concatenate(self) -> np.ndarray:
+        """The whole collected trace as one array."""
+        if not self.chunks:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(self.chunks)
+
+
+class SimulatorSink:
+    """Feeds chunks straight into a cache hierarchy."""
+
+    def __init__(self, hierarchy: CacheHierarchy) -> None:
+        self.hierarchy = hierarchy
+
+    def consume(self, addrs: np.ndarray) -> None:
+        """Simulate one chunk immediately."""
+        self.hierarchy.access(addrs)
+
+
+class CountingSink:
+    """Counts accesses without simulating (for sizing and tests)."""
+
+    def __init__(self) -> None:
+        self.total = 0
+
+    def consume(self, addrs: np.ndarray) -> None:
+        """Count one chunk's accesses."""
+        self.total += np.asarray(addrs).size
+
+
+class AddressSpace:
+    """First-fit synthetic heap with alignment and coalescing free."""
+
+    def __init__(self, base: int = 1 << 20, align: int = 64) -> None:
+        if align & (align - 1):
+            raise ValueError(f"alignment must be a power of two, got {align}")
+        self.align = align
+        self._top = base
+        # Sorted list of (start, size) free blocks.
+        self._free: list[tuple[int, int]] = []
+        self.live: dict[int, int] = {}
+
+    def _round(self, n: int) -> int:
+        a = self.align
+        return (n + a - 1) & ~(a - 1)
+
+    def alloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes``; returns the base byte address."""
+        size = self._round(max(1, nbytes))
+        for i, (start, free_size) in enumerate(self._free):
+            if free_size >= size:
+                if free_size == size:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = (start + size, free_size - size)
+                self.live[start] = size
+                return start
+        start = self._top
+        self._top += size
+        self.live[start] = size
+        return start
+
+    def free(self, addr: int) -> None:
+        """Release an allocation; neighbouring free blocks coalesce."""
+        size = self.live.pop(addr)
+        # Insert sorted and coalesce with neighbours.
+        self._free.append((addr, size))
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for start, sz in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == start:
+                merged[-1] = (merged[-1][0], merged[-1][1] + sz)
+            else:
+                merged.append((start, sz))
+        self._free = merged
+
+    def alloc_matrix(self, rows: int, cols: int, elem: int = ELEM) -> int:
+        """Allocate a column-major ``rows x cols`` matrix; returns its base."""
+        return self.alloc(rows * cols * elem)

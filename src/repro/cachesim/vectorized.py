@@ -1,0 +1,89 @@
+"""Streaming, fully vectorised direct-mapped cache simulation.
+
+A direct-mapped cache has one resident tag per set, so a trace can be
+simulated without any per-access Python work:
+
+1. stable-argsort the chunk's accesses by set index — accesses to the same
+   set become contiguous *in their original relative order*;
+2. within each run of equal set indices, an access misses iff its tag
+   differs from the immediately preceding access to that set;
+3. the first access of each run compares against the per-set resident-tag
+   state carried over from earlier chunks, and the last access of each run
+   becomes the new resident tag.
+
+This makes per-chunk cost O(n log n) in numpy, fast enough for the
+hundreds of millions of accesses a full-scale Figure 9 run produces, while
+remaining exactly equivalent to the per-access LRU reference at
+associativity 1 (property-tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cache import CacheConfig, CacheStats
+
+__all__ = ["DirectMappedCache"]
+
+
+class DirectMappedCache:
+    """Direct-mapped cache with vectorised chunk simulation.
+
+    State persists across :meth:`access` calls, so arbitrarily long traces
+    can be streamed through in bounded memory.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        if config.assoc != 1:
+            raise ValueError(
+                f"DirectMappedCache requires associativity 1, got {config.assoc}"
+            )
+        self.config = config
+        self.stats = CacheStats()
+        # Resident tag per set; -1 = invalid (no real tag is negative since
+        # addresses are non-negative).
+        self._resident = np.full(config.n_sets, -1, dtype=np.int64)
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        self.stats = CacheStats()
+        self._resident.fill(-1)
+
+    def access(self, addrs: np.ndarray, return_mask: bool = True) -> np.ndarray | int:
+        """Simulate byte-address accesses; returns the miss mask (or count)."""
+        addrs = np.asarray(addrs, dtype=np.int64).ravel()
+        n = addrs.shape[0]
+        self.stats.accesses += n
+        if n == 0:
+            return np.zeros(0, dtype=bool) if return_mask else 0
+
+        sets, tags = self.config.split(addrs)
+        order = np.argsort(sets, kind="stable")
+        s_sorted = sets[order]
+        t_sorted = tags[order]
+
+        run_start = np.empty(n, dtype=bool)
+        run_start[0] = True
+        np.not_equal(s_sorted[1:], s_sorted[:-1], out=run_start[1:])
+
+        miss_sorted = np.empty(n, dtype=bool)
+        # Within runs: miss iff the tag changed from the previous access.
+        np.not_equal(t_sorted[1:], t_sorted[:-1], out=miss_sorted[1:])
+        # Run heads: miss iff the carried resident tag differs.
+        heads = np.flatnonzero(run_start)
+        miss_sorted[heads] = self._resident[s_sorted[heads]] != t_sorted[heads]
+
+        # Update carried state with each run's final tag.
+        last = np.empty(n, dtype=bool)
+        last[:-1] = run_start[1:]
+        last[-1] = True
+        tail = np.flatnonzero(last)
+        self._resident[s_sorted[tail]] = t_sorted[tail]
+
+        n_miss = int(np.count_nonzero(miss_sorted))
+        self.stats.misses += n_miss
+        if not return_mask:
+            return n_miss
+        miss = np.empty(n, dtype=bool)
+        miss[order] = miss_sorted
+        return miss

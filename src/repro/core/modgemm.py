@@ -1,0 +1,241 @@
+"""MODGEMM: the paper's Morton-order Strassen-Winograd dgemm.
+
+The public entry point :func:`modgemm` follows the Level-3 BLAS dgemm
+contract (Section 2.1) and stitches together the full pipeline of
+Section 3.5:
+
+1. plan a common recursion depth and per-dimension leaf tiles that minimise
+   padding (dynamic truncation-point selection) — or, for highly
+   rectangular operands with no common depth, split into well-behaved
+   panels first (Figure 4);
+2. convert the inputs from column-major to Morton order at the interface
+   level, fusing any requested transposition into the conversion;
+3. run the Strassen-Winograd recursion entirely on contiguous Morton
+   buffers (redundant arithmetic on the zero pad included);
+4. convert the product back and post-process ``alpha``/``beta`` only when
+   they differ from the common values 1 and 0.
+
+:func:`modgemm_morton` is the conversion-free variant used for Figure 8
+("assuming matrices are already in Morton order").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..blas.dgemm import GemmProblem, OpKind
+from ..blas.kernels import LeafKernel
+from ..layout.matrix import MortonMatrix
+from ..layout.padding import Tiling
+from .ops import NumpyOps
+from .rectangular import plan_panels
+from .strassen import strassen_multiply
+from .truncation import DEFAULT_POLICY, TruncationPolicy
+from .winograd import winograd_multiply
+from .workspace import Workspace
+
+__all__ = ["modgemm", "modgemm_morton", "PhaseTimings"]
+
+_VARIANTS = {"winograd": winograd_multiply, "strassen": strassen_multiply}
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock breakdown of one modgemm call (drives Figure 7).
+
+    All values in seconds; ``convert`` covers both input conversions plus
+    the output conversion back to column-major, mirroring what the paper's
+    conversion-cost figure measures.
+    """
+
+    to_morton: float = 0.0
+    compute: float = 0.0
+    from_morton: float = 0.0
+    panels: int = field(default=1)
+
+    @property
+    def convert(self) -> float:
+        return self.to_morton + self.from_morton
+
+    @property
+    def total(self) -> float:
+        return self.to_morton + self.compute + self.from_morton
+
+    @property
+    def convert_fraction(self) -> float:
+        t = self.total
+        return self.convert / t if t > 0 else 0.0
+
+
+def modgemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    op_a: "OpKind | str" = "n",
+    op_b: "OpKind | str" = "n",
+    policy: TruncationPolicy = DEFAULT_POLICY,
+    kernel: "str | LeafKernel" = "numpy",
+    variant: str = "winograd",
+    timings: PhaseTimings | None = None,
+    parallel: bool = False,
+) -> np.ndarray:
+    """``C <- alpha * op(A) . op(B) + beta * C`` via Morton-order Strassen-Winograd.
+
+    Parameters mirror BLAS dgemm.  ``c`` is updated in place (and returned)
+    when given; otherwise a fresh array is returned and ``beta`` must be 0.
+    ``variant`` selects the Winograd (default) or original Strassen
+    schedule; ``kernel`` the leaf multiply; ``timings``, when supplied, is
+    filled with the conversion/compute phase breakdown.  ``parallel`` runs
+    the seven top-level Winograd products on a thread pool (see
+    :mod:`repro.core.parallel`; useful on multi-core hosts only).
+    """
+    if variant not in _VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected {sorted(_VARIANTS)}")
+    if parallel and variant != "winograd":
+        raise ValueError("parallel execution supports only the winograd variant")
+    if parallel:
+        variant = "parallel"
+    p = GemmProblem.create(a, b, op_a=op_a, op_b=op_b, alpha=alpha, beta=beta, c=c)
+    d = _product(p, policy, kernel, variant, timings)
+    result = p.apply_scaling(d, c)
+    if c is not None and result is not c:
+        c[...] = result
+        return c
+    return result
+
+
+def _product(
+    p: GemmProblem,
+    policy: TruncationPolicy,
+    kernel: "str | LeafKernel",
+    variant: str,
+    timings: PhaseTimings | None,
+) -> np.ndarray:
+    """``D = op(A) . op(B)`` (the alpha/beta-free core of Section 3.5)."""
+    plan = policy.plan(p.m, p.k, p.n)
+    if plan is not None:
+        return _well_behaved_product(
+            p.a, p.b, p.op_a, p.op_b, plan, kernel, variant, timings
+        )
+
+    # Highly rectangular: no common recursion depth exists.  Reconstruct
+    # from well-behaved panel products (Figure 4).
+    opa = p.op_a_view
+    opb = p.op_b_view
+    d = np.zeros((p.m, p.n), dtype=np.float64, order="F")
+    panels = plan_panels(p.m, p.k, p.n, policy.tile_range) if policy.tile_range \
+        else plan_panels(p.m, p.k, p.n)
+    if timings is not None:
+        timings.panels = len(panels)
+    for panel in panels:
+        pa = opa[panel.m0 : panel.m1, panel.k0 : panel.k1]
+        pb = opb[panel.k0 : panel.k1, panel.n0 : panel.n1]
+        sub_plan = policy.plan(*_panel_dims(panel))
+        if sub_plan is None:
+            # Degenerate residue (e.g. a 1-wide strip): conventional product.
+            part = pa @ pb
+        else:
+            part = _well_behaved_product(
+                pa, pb, OpKind.NOTRANS, OpKind.NOTRANS, sub_plan,
+                kernel, variant, timings,
+            )
+        if panel.accumulate:
+            d[panel.m0 : panel.m1, panel.n0 : panel.n1] += part
+        else:
+            d[panel.m0 : panel.m1, panel.n0 : panel.n1] = part
+    return d
+
+
+def _panel_dims(panel) -> tuple[int, int, int]:
+    return (panel.m1 - panel.m0, panel.k1 - panel.k0, panel.n1 - panel.n0)
+
+
+def _well_behaved_product(
+    a: np.ndarray,
+    b: np.ndarray,
+    op_a: OpKind,
+    op_b: OpKind,
+    plan: tuple[Tiling, Tiling, Tiling],
+    kernel: "str | LeafKernel",
+    variant: str,
+    timings: PhaseTimings | None,
+) -> np.ndarray:
+    tm, tk, tn = plan
+    t0 = time.perf_counter()
+    a_mm = MortonMatrix.from_dense(
+        a, transpose=(op_a is OpKind.TRANS), tilings=(tm, tk)
+    )
+    b_mm = MortonMatrix.from_dense(
+        b, transpose=(op_b is OpKind.TRANS), tilings=(tk, tn)
+    )
+    c_mm = MortonMatrix.empty(tm.n, tn.n, tm, tn)
+    t1 = time.perf_counter()
+    _multiply_variant(a_mm, b_mm, c_mm, kernel, variant)
+    t2 = time.perf_counter()
+    d = c_mm.to_dense()
+    t3 = time.perf_counter()
+    if timings is not None:
+        timings.to_morton += t1 - t0
+        timings.compute += t2 - t1
+        timings.from_morton += t3 - t2
+    return d
+
+
+def _multiply_variant(
+    a_mm: MortonMatrix,
+    b_mm: MortonMatrix,
+    c_mm: MortonMatrix,
+    kernel: "str | LeafKernel",
+    variant: str,
+) -> None:
+    if variant == "parallel":
+        from .parallel import parallel_multiply
+
+        parallel_multiply(a_mm, b_mm, c_mm, kernel=kernel)
+        return
+    ops = NumpyOps(kernel)
+    if variant == "winograd":
+        winograd_multiply(a_mm, b_mm, c_mm, ops=ops)
+    else:
+        strassen_multiply(a_mm, b_mm, c_mm, ops=ops)
+
+
+def modgemm_morton(
+    a_mm: MortonMatrix,
+    b_mm: MortonMatrix,
+    c_mm: MortonMatrix | None = None,
+    kernel: "str | LeafKernel" = "numpy",
+    variant: str = "winograd",
+    workspace: Workspace | None = None,
+) -> MortonMatrix:
+    """Multiply operands already in Morton order; no conversions (Figure 8).
+
+    Operands must share the recursion depth and have conformable tile
+    edges — i.e. they were created from a single
+    :meth:`TruncationPolicy.plan`.  Returns the Morton-ordered product.
+    """
+    if c_mm is None:
+        c_mm = MortonMatrix(
+            buf=np.empty(
+                (a_mm.tile_r << a_mm.depth) * (b_mm.tile_c << b_mm.depth),
+                dtype=np.float64,
+            ),
+            rows=a_mm.rows,
+            cols=b_mm.cols,
+            tile_r=a_mm.tile_r,
+            tile_c=b_mm.tile_c,
+            depth=a_mm.depth,
+        )
+    ops = NumpyOps(kernel)
+    if variant == "winograd":
+        winograd_multiply(a_mm, b_mm, c_mm, ops=ops, workspace=workspace)
+    elif variant == "strassen":
+        strassen_multiply(a_mm, b_mm, c_mm, ops=ops, workspace=workspace)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    return c_mm

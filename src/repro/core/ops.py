@@ -1,0 +1,82 @@
+"""Recursion backends: one Winograd control structure, many interpretations.
+
+The Strassen-Winograd recursion in :mod:`repro.core.winograd` is written
+against this small operation vocabulary over Morton matrices.  Two backends
+implement it:
+
+* :class:`NumpyOps` — performs the arithmetic.  Because every Morton
+  quadrant is a contiguous buffer, all 15 Winograd additions are single
+  1-D vector operations (the paper's "single loop rather than two nested
+  loops", Section 3.3), executed in place with no temporaries.
+* ``TraceOps`` (in :mod:`repro.cachesim.tracegen`) — emits the memory
+  address trace of exactly the same computation for the cache simulator,
+  replacing ATOM in the paper's methodology.
+
+Keeping a single recursion ensures the simulated cache behaviour belongs to
+the very code being timed, not to a drifting re-implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..blas.kernels import LeafKernel, get_kernel
+from ..layout.matrix import MortonMatrix
+
+__all__ = ["WinogradOps", "NumpyOps"]
+
+
+class WinogradOps(Protocol):
+    """Operations the recursion needs; all operands are Morton matrices."""
+
+    def add(self, dst: MortonMatrix, x: MortonMatrix, y: MortonMatrix) -> None:
+        """``dst = x + y`` (dst may alias x or y)."""
+
+    def sub(self, dst: MortonMatrix, x: MortonMatrix, y: MortonMatrix) -> None:
+        """``dst = x - y`` (dst may alias x or y)."""
+
+    def iadd(self, dst: MortonMatrix, x: MortonMatrix) -> None:
+        """``dst += x``."""
+
+    def leaf_mult(self, a: MortonMatrix, b: MortonMatrix, dst: MortonMatrix) -> None:
+        """``dst = a . b`` on leaf tiles (depth 0)."""
+
+
+def _same_size(dst: MortonMatrix, *rest: MortonMatrix) -> None:
+    for m in rest:
+        if m.size != dst.size:
+            raise ValueError(
+                f"buffer size mismatch: {dst.size} vs {m.size} "
+                "(operands of a Winograd addition must be congruent)"
+            )
+
+
+class NumpyOps:
+    """The arithmetic backend.
+
+    ``kernel`` selects the leaf multiply (see :mod:`repro.blas.kernels`).
+    """
+
+    def __init__(self, kernel: "str | LeafKernel" = "numpy") -> None:
+        self.kernel = get_kernel(kernel)
+
+    def add(self, dst: MortonMatrix, x: MortonMatrix, y: MortonMatrix) -> None:
+        """``dst = x + y`` as one flat vector operation."""
+        _same_size(dst, x, y)
+        np.add(x.buf, y.buf, out=dst.buf)
+
+    def sub(self, dst: MortonMatrix, x: MortonMatrix, y: MortonMatrix) -> None:
+        """``dst = x - y`` as one flat vector operation."""
+        _same_size(dst, x, y)
+        np.subtract(x.buf, y.buf, out=dst.buf)
+
+    def iadd(self, dst: MortonMatrix, x: MortonMatrix) -> None:
+        """``dst += x`` in place."""
+        _same_size(dst, x)
+        dst.buf += x.buf
+
+    def leaf_mult(self, a: MortonMatrix, b: MortonMatrix, dst: MortonMatrix) -> None:
+        """Multiply two leaf tiles with the configured kernel."""
+        self.kernel(a.leaf_view(), b.leaf_view(), dst.leaf_view(), accumulate=False)

@@ -1,0 +1,115 @@
+"""Handling of highly rectangular operands (paper Section 3.5, Figure 4).
+
+Tile edges are chosen independently per dimension, but all three GEMM
+dimensions must unfold to the *same* recursion depth.  When the aspect
+ratio exceeds the tile range's span (4x for 16..64) no common depth exists
+— the paper's 1024 x 256 example wants depth 5 for the rows and depth 3 for
+the columns.  The fix is to divide the operands into panels "such that all
+submatrices require the same depth of recursion unfolding" and reconstruct
+the product from panel products:
+
+* a *wide* operand (cols/rows too large) is split along its columns,
+* a *lean* operand (rows/cols too large) along its rows,
+* a *well-behaved* operand is left whole.
+
+Splitting dimension d into ``ceil(d / ref)`` near-equal chunks (ref = the
+smallest GEMM dimension) bounds every panel's aspect ratio by ~2, so each
+panel GEMM admits a common depth.  Panels that share a k-chunk accumulate
+into the same C panel, which is exactly the block-matrix reconstruction of
+Figure 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..layout.padding import TileRange
+
+__all__ = ["Shape", "classify", "split_dim", "plan_panels", "PanelProduct"]
+
+
+class Shape(str, enum.Enum):
+    """The paper's three aspect-ratio classes."""
+
+    WIDE = "wide"
+    LEAN = "lean"
+    WELL_BEHAVED = "well-behaved"
+
+
+def classify(rows: int, cols: int, max_ratio: float = 4.0) -> Shape:
+    """Classify a matrix per Section 3.5.
+
+    ``max_ratio`` defaults to the span of the paper's tile range (64/16),
+    the largest ratio for which a common recursion depth is guaranteed.
+    """
+    if cols > max_ratio * rows:
+        return Shape.WIDE
+    if rows > max_ratio * cols:
+        return Shape.LEAN
+    return Shape.WELL_BEHAVED
+
+
+def split_dim(dim: int, ref: int) -> list[tuple[int, int]]:
+    """Near-equal chunks ``(start, stop)`` of size about ``ref``.
+
+    The chunk count is ``ceil(dim / ref)``; chunk sizes differ by at most
+    one, so every chunk lies in ``[ref // 2, ref]`` whenever ``dim >= ref``.
+    """
+    if dim < 1 or ref < 1:
+        raise ValueError(f"dim and ref must be >= 1, got {dim}, {ref}")
+    q = -(-dim // ref)
+    base, extra = divmod(dim, q)
+    spans = []
+    start = 0
+    for i in range(q):
+        size = base + (1 if i < extra else 0)
+        spans.append((start, start + size))
+        start += size
+    assert start == dim
+    return spans
+
+
+@dataclass(frozen=True)
+class PanelProduct:
+    """One well-behaved sub-GEMM of the block reconstruction.
+
+    ``C[m0:m1, n0:n1] (+)= op(A)[m0:m1, k0:k1] . op(B)[k0:k1, n0:n1]``;
+    ``accumulate`` is True for every k-chunk after the first.
+    """
+
+    m0: int
+    m1: int
+    k0: int
+    k1: int
+    n0: int
+    n1: int
+    accumulate: bool
+
+
+def plan_panels(
+    m: int, k: int, n: int, tile_range: TileRange = TileRange()
+) -> list[PanelProduct]:
+    """Panel decomposition for a GEMM with no common recursion depth.
+
+    The reference chunk size is the smallest dimension: splitting every
+    larger dimension into near-``ref`` chunks makes all panel dimension
+    triples mutually within a factor ~2, inside the tile range's span.
+    Panels are emitted k-outermost so the ``accumulate`` flags match a
+    left-to-right evaluation.
+    """
+    ref = min(m, k, n)
+    m_spans = split_dim(m, ref)
+    k_spans = split_dim(k, ref)
+    n_spans = split_dim(n, ref)
+    panels: list[PanelProduct] = []
+    for m0, m1 in m_spans:
+        for n0, n1 in n_spans:
+            for idx, (k0, k1) in enumerate(k_spans):
+                panels.append(
+                    PanelProduct(
+                        m0=m0, m1=m1, k0=k0, k1=k1, n0=n0, n1=n1,
+                        accumulate=idx > 0,
+                    )
+                )
+    return panels

@@ -1,0 +1,97 @@
+"""Strassen's original 1969 schedule (7 products, 18 additions).
+
+The paper presents this form in Section 2 before switching to Winograd's
+variant; we implement it as an ablation baseline so the benefit of
+Winograd's common-subexpression reuse (15 vs 18 additions) can be measured
+in isolation on identical Morton machinery::
+
+    P1 = (A11+A22).(B11+B22)   P2 = (A21+A22).B11   P3 = A11.(B12-B22)
+    P4 = A22.(B21-B11)         P5 = (A11+A12).B22   P6 = (A21-A11).(B11+B12)
+    P7 = (A12-A22).(B21+B22)
+
+    C11 = P1 + P4 - P5 + P7    C12 = P3 + P5
+    C21 = P2 + P4              C22 = P1 + P3 - P2 + P6
+
+Needs one more scratch buffer (Q) than the Winograd schedule because P1 is
+consumed by two distant C quadrants.
+"""
+
+from __future__ import annotations
+
+from ..layout.matrix import MortonMatrix
+from .ops import NumpyOps, WinogradOps
+from .winograd import _check_conformable
+from .workspace import Workspace
+
+__all__ = ["strassen_multiply"]
+
+
+def strassen_multiply(
+    a: MortonMatrix,
+    b: MortonMatrix,
+    c: MortonMatrix,
+    ops: WinogradOps | None = None,
+    workspace: Workspace | None = None,
+) -> MortonMatrix:
+    """``C = A . B`` with the original Strassen schedule on Morton operands."""
+    _check_conformable(a, b, c)
+    if ops is None:
+        ops = NumpyOps()
+    if workspace is None:
+        workspace = Workspace(
+            a.depth, a.tile_r, a.tile_c, b.tile_c, with_q=True
+        )
+    elif a.depth > 0 and workspace.at(a.depth - 1).q is None:
+        raise ValueError("strassen_multiply needs a workspace built with with_q=True")
+    _recurse(a, b, c, ops, workspace)
+    return c
+
+
+def _recurse(
+    a: MortonMatrix,
+    b: MortonMatrix,
+    c: MortonMatrix,
+    ops: WinogradOps,
+    ws: Workspace,
+) -> None:
+    if a.depth == 0:
+        ops.leaf_mult(a, b, c)
+        return
+
+    a11, a12, a21, a22 = a.quadrants()
+    b11, b12, b21, b22 = b.quadrants()
+    c11, c12, c21, c22 = c.quadrants()
+    lv = ws.at(a11.depth)
+    s, t, p, q = lv.s, lv.t, lv.p, lv.q
+    assert q is not None
+
+    ops.add(s, a11, a22)
+    ops.add(t, b11, b22)
+    _recurse(s, t, p, ops, ws)      # P = P1
+    ops.add(s, a21, a22)
+    _recurse(s, b11, c21, ops, ws)  # C21 = P2
+    ops.sub(t, b12, b22)
+    _recurse(a11, t, c12, ops, ws)  # C12 = P3
+    ops.sub(t, b21, b11)
+    _recurse(a22, t, q, ops, ws)    # Q = P4
+
+    # C11 = P1 + P4 (P5 and P7 folded in below); C22 = P1 + P3 - P2.
+    ops.add(c11, p, q)
+    ops.add(c22, p, c12)
+    ops.sub(c22, c22, c21)
+    ops.iadd(c21, q)                # C21 = P2 + P4 (final)
+
+    ops.add(s, a11, a12)
+    _recurse(s, b22, q, ops, ws)    # Q = P5
+    ops.sub(c11, c11, q)            # C11 -= P5
+    ops.iadd(c12, q)                # C12 = P3 + P5 (final)
+
+    ops.sub(s, a21, a11)
+    ops.add(t, b11, b12)
+    _recurse(s, t, q, ops, ws)      # Q = P6
+    ops.iadd(c22, q)                # C22 final
+
+    ops.sub(s, a12, a22)
+    ops.add(t, b21, b22)
+    _recurse(s, t, q, ops, ws)      # Q = P7
+    ops.iadd(c11, q)                # C11 final

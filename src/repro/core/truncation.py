@@ -1,0 +1,102 @@
+"""Truncation policy: how the recursion depth and leaf tiles are chosen.
+
+Two policies reproduce the paper's comparison:
+
+* :meth:`TruncationPolicy.dynamic` — the paper's contribution: pick the
+  tile edge from a range (default 16..64) to minimise padding
+  (Section 3.4).
+* :meth:`TruncationPolicy.fixed` — the conventional scheme with one static
+  tile size (Figure 2's fixed line uses 32): the padded size is forced to
+  ``T * 2**d``, which in the worst case nearly doubles the matrix
+  (513 -> 1024 at T = 32).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..layout.padding import TileRange, Tiling, select_common_tiling
+
+__all__ = ["TruncationPolicy", "DEFAULT_POLICY"]
+
+
+@dataclass(frozen=True)
+class TruncationPolicy:
+    """Selects the common recursion depth and per-dimension tiles for a GEMM.
+
+    Exactly one of ``tile_range`` (dynamic selection) or ``fixed_tile``
+    (static truncation point) is set.  ``cache_bytes``, when set on a
+    dynamic policy, additionally avoids tile choices whose quadrant layout
+    is congruent modulo that (direct-mapped L1) cache size — the paper's
+    Section 4.2 future work, implemented; see
+    :func:`repro.layout.padding.conflict_levels`.
+    """
+
+    tile_range: TileRange | None
+    fixed_tile: int | None
+    label: str
+    cache_bytes: int | None = None
+
+    @classmethod
+    def dynamic(cls, min_tile: int = 16, max_tile: int = 64) -> "TruncationPolicy":
+        return cls(
+            tile_range=TileRange(min_tile, max_tile),
+            fixed_tile=None,
+            label=f"dynamic[{min_tile},{max_tile}]",
+        )
+
+    @classmethod
+    def conflict_aware(
+        cls, cache_bytes: int, min_tile: int = 16, max_tile: int = 64
+    ) -> "TruncationPolicy":
+        """Dynamic selection that also dodges cache-congruent quadrants.
+
+        Accepts a little extra padding (e.g. 512 -> 528 with tile 33) when
+        that breaks the quadrant-base congruence that causes the paper's
+        505..512 conflict regime.  ``cache_bytes`` should be the L1 size
+        of the machine the multiply will run on.
+        """
+        if cache_bytes < 1:
+            raise ValueError(f"cache_bytes must be >= 1, got {cache_bytes}")
+        return cls(
+            tile_range=TileRange(min_tile, max_tile),
+            fixed_tile=None,
+            label=f"conflict-aware[{min_tile},{max_tile};{cache_bytes}B]",
+            cache_bytes=cache_bytes,
+        )
+
+    @classmethod
+    def fixed(cls, tile: int = 32) -> "TruncationPolicy":
+        if tile < 1:
+            raise ValueError(f"fixed tile must be >= 1, got {tile}")
+        return cls(tile_range=None, fixed_tile=tile, label=f"fixed[{tile}]")
+
+    def plan(self, m: int, k: int, n: int) -> tuple[Tiling, Tiling, Tiling] | None:
+        """Common tiling for all three GEMM dimensions, or None (split needed).
+
+        Dynamic policy: minimise total padding over the common feasible
+        depths (may be None for highly rectangular problems — the caller
+        then panels the operands, Section 3.5).
+
+        Fixed policy: every dimension pads up to ``T * 2**d`` with the
+        single depth ``d`` forced by the largest dimension (a matrix no
+        larger than T in every dimension is a single conventional leaf).
+        Never None — static padding always "works", just expensively.
+        """
+        if self.tile_range is not None:
+            return select_common_tiling(
+                (m, k, n), self.tile_range, cache_bytes=self.cache_bytes
+            )
+        t = self.fixed_tile
+        assert t is not None
+        dims = (m, k, n)
+        depth = max(
+            (math.ceil(math.log2(-(-d // t))) if d > t else 0) for d in dims
+        )
+        if depth == 0:
+            return tuple(Tiling(n=d, tile=d, depth=0) for d in dims)  # type: ignore[return-value]
+        return tuple(Tiling(n=d, tile=t, depth=depth) for d in dims)  # type: ignore[return-value]
+
+
+DEFAULT_POLICY = TruncationPolicy.dynamic()

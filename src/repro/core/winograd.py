@@ -1,0 +1,150 @@
+"""The Strassen-Winograd recursion on Morton-ordered operands.
+
+This implements the paper's Section 2 equation set verbatim — the Winograd
+variant with 7 recursive products and the minimum 15 matrix additions::
+
+    S1 = A21 + A22      T1 = B12 - B11
+    S2 = S1  - A11      T2 = B22 - T1
+    S3 = A11 - A21      T3 = B22 - B12
+    S4 = A12 - S2       T4 = B21 - T2
+
+    P1 = A11.B11  P2 = A12.B21  P3 = S1.T1  P4 = S2.T2
+    P5 = S3.T3    P6 = S4.B22   P7 = A22.T4
+
+    C11 = U1 = P1 + P2          U2 = P1 + P4        U3 = U2 + P5
+    C21 = U4 = U3 + P7          C22 = U5 = U3 + P3
+    U6 = U2 + P3                C12 = U7 = U6 + P6
+
+The concrete schedule below linearises those equations so that each level
+needs only four scratch quarter-matrices besides the C quadrants — S
+(A-shaped sums), T (B-shaped sums), and P/Q (C-shaped products) — with
+every intermediate written exactly once and every addition an in-place
+whole-buffer vector operation.  The sequencing was verified
+symbolically (each C quadrant expands to exactly the four conventional
+product terms) and is enforced by the property-based tests.
+
+The recursion never descends below the Morton leaf tiles: by construction
+(dynamic truncation, Section 3.4) the operands' depth *is* the recursion
+depth, and leaves are multiplied by the conventional kernel.
+"""
+
+from __future__ import annotations
+
+from ..layout.matrix import MortonMatrix
+from .ops import NumpyOps, WinogradOps
+from .workspace import Workspace
+
+__all__ = ["winograd_multiply", "multiply_morton"]
+
+
+def _check_conformable(a: MortonMatrix, b: MortonMatrix, c: MortonMatrix) -> None:
+    if not (a.depth == b.depth == c.depth):
+        raise ValueError(
+            f"operand depths differ: A={a.depth}, B={b.depth}, C={c.depth}; "
+            "a GEMM must use a common recursion depth (select_common_tiling)"
+        )
+    if a.tile_c != b.tile_r:
+        raise ValueError(
+            f"inner tile edges disagree: A tiles {a.tile_r}x{a.tile_c}, "
+            f"B tiles {b.tile_r}x{b.tile_c}"
+        )
+    if c.tile_r != a.tile_r or c.tile_c != b.tile_c:
+        raise ValueError(
+            f"C tiles {c.tile_r}x{c.tile_c} do not match product "
+            f"{a.tile_r}x{b.tile_c}"
+        )
+
+
+def winograd_multiply(
+    a: MortonMatrix,
+    b: MortonMatrix,
+    c: MortonMatrix,
+    ops: WinogradOps | None = None,
+    workspace: Workspace | None = None,
+) -> MortonMatrix:
+    """Compute ``C = A . B`` over padded Morton operands (alpha/beta-free core).
+
+    ``c``'s buffer is overwritten entirely (including its pad).  ``ops``
+    selects the backend (arithmetic or trace emission); ``workspace`` may be
+    shared across calls of the same geometry.
+    """
+    _check_conformable(a, b, c)
+    if ops is None:
+        ops = NumpyOps()
+    if workspace is None:
+        workspace = Workspace(a.depth, a.tile_r, a.tile_c, b.tile_c, with_q=True)
+    elif a.depth > 0 and workspace.at(a.depth - 1).q is None:
+        raise ValueError("winograd_multiply needs a workspace built with with_q=True")
+    _recurse(a, b, c, ops, workspace)
+    return c
+
+
+def _recurse(
+    a: MortonMatrix,
+    b: MortonMatrix,
+    c: MortonMatrix,
+    ops: WinogradOps,
+    ws: Workspace,
+) -> None:
+    if a.depth == 0:
+        ops.leaf_mult(a, b, c)
+        return
+
+    a11, a12, a21, a22 = a.quadrants()
+    b11, b12, b21, b22 = b.quadrants()
+    c11, c12, c21, c22 = c.quadrants()
+    lv = ws.at(a11.depth)
+    s, t, p, q = lv.s, lv.t, lv.p, lv.q
+    assert q is not None
+
+    # Phase 1: the five products that consume the S/T chains.  Each S_i/T_i
+    # is formed in place in the shared scratch the moment its predecessors
+    # are no longer needed — this is the common-subexpression reuse that
+    # gives Winograd its 15-addition count.
+    ops.sub(s, a11, a21)            # S3
+    ops.sub(t, b22, b12)            # T3
+    _recurse(s, t, p, ops, ws)      # P  <- P5 = S3.T3
+    ops.add(s, a21, a22)            # S1
+    ops.sub(t, b12, b11)            # T1
+    _recurse(s, t, c22, ops, ws)    # C22 <- P3 = S1.T1
+    ops.sub(s, s, a11)              # S2 = S1 - A11
+    ops.sub(t, b22, t)              # T2 = B22 - T1
+    _recurse(s, t, c11, ops, ws)    # C11 <- P4 = S2.T2
+    ops.sub(s, a12, s)              # S4 = A12 - S2
+    ops.sub(t, b21, t)              # T4 = B21 - T2
+    _recurse(s, b22, c12, ops, ws)  # C12 <- P6 = S4.B22
+    _recurse(a22, t, c21, ops, ws)  # C21 <- P7 = A22.T4
+
+    # Phase 2: the two plain products and the U-chain combinations.  P1 and
+    # P2 are C-shaped, so they stage in the C-shaped scratch: P1 in Q, and
+    # P2 reuses P once U3 has been consumed.
+    _recurse(a11, b11, q, ops, ws)  # Q <- P1
+    ops.iadd(c11, q)                # C11 = U2 = P1 + P4
+    ops.iadd(p, c11)                # P   = U3 = U2 + P5
+    ops.iadd(c12, c11)              # C12 = P6 + U2
+    ops.iadd(c12, c22)              # C12 = U7 = U6 + P6   (U6 = U2 + P3)
+    ops.iadd(c21, p)                # C21 = U4 = U3 + P7
+    ops.iadd(c22, p)                # C22 = U5 = U3 + P3
+    _recurse(a12, b21, p, ops, ws)  # P <- P2
+    ops.add(c11, q, p)              # C11 = U1 = P1 + P2
+
+
+def multiply_morton(
+    a: MortonMatrix,
+    b: MortonMatrix,
+    ops: WinogradOps | None = None,
+) -> MortonMatrix:
+    """Convenience wrapper: allocate C and workspace, run the recursion."""
+    import numpy as np
+
+    c = MortonMatrix(
+        buf=np.empty(
+            (a.tile_r << a.depth) * (b.tile_c << b.depth), dtype=np.float64
+        ),
+        rows=a.rows,
+        cols=b.cols,
+        tile_r=a.tile_r,
+        tile_c=b.tile_c,
+        depth=a.depth,
+    )
+    return winograd_multiply(a, b, c, ops=ops)

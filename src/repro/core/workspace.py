@@ -1,0 +1,90 @@
+"""Preallocated scratch buffers for the Strassen recursions.
+
+Each level of the Winograd recursion needs three quarter-size scratch
+matrices (S for A-shaped sums, T for B-shaped sums, P for one C-shaped
+product); the original Strassen variant needs a fourth (Q, C-shaped).
+Because the seven recursive products at a level execute sequentially, the
+deeper levels can all share one set of buffers — so total scratch is a
+geometric series bounded by ~1/3 of the operand sizes per shape, allocated
+once up front rather than churned per recursive call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..layout.matrix import MortonMatrix
+
+__all__ = ["Workspace"]
+
+
+class _Level:
+    """Scratch Morton matrices for one recursion level."""
+
+    __slots__ = ("s", "t", "p", "q")
+
+    def __init__(
+        self,
+        depth: int,
+        tiles_a: tuple[int, int],
+        tiles_b: tuple[int, int],
+        tiles_c: tuple[int, int],
+        with_q: bool,
+    ) -> None:
+        def make(tile_r: int, tile_c: int) -> MortonMatrix:
+            n = (tile_r << depth) * (tile_c << depth)
+            return MortonMatrix(
+                buf=np.empty(n, dtype=np.float64),
+                rows=tile_r << depth,
+                cols=tile_c << depth,
+                tile_r=tile_r,
+                tile_c=tile_c,
+                depth=depth,
+            )
+
+        self.s = make(*tiles_a)
+        self.t = make(*tiles_b)
+        self.p = make(*tiles_c)
+        self.q = make(*tiles_c) if with_q else None
+
+
+class Workspace:
+    """Scratch for a depth-``d`` recursion over a given tile geometry.
+
+    ``levels[j]`` serves the recursion level whose *children* have depth
+    ``d - 1 - j`` (i.e. the scratch matrices at ``levels[j]`` are quarter
+    matrices of a depth-``d - j`` problem).
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        tile_m: int,
+        tile_k: int,
+        tile_n: int,
+        with_q: bool = False,
+    ) -> None:
+        self.depth = depth
+        self.levels = [
+            _Level(
+                d,
+                tiles_a=(tile_m, tile_k),
+                tiles_b=(tile_k, tile_n),
+                tiles_c=(tile_m, tile_n),
+                with_q=with_q,
+            )
+            for d in range(depth - 1, -1, -1)
+        ]
+
+    def at(self, child_depth: int) -> _Level:
+        """Scratch whose matrices have the given (child) depth."""
+        return self.levels[self.depth - 1 - child_depth]
+
+    @property
+    def total_bytes(self) -> int:
+        total = 0
+        for lv in self.levels:
+            total += lv.s.buf.nbytes + lv.t.buf.nbytes + lv.p.buf.nbytes
+            if lv.q is not None:
+                total += lv.q.buf.nbytes
+        return total

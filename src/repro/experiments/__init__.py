@@ -1,0 +1,38 @@
+"""Per-figure experiment runners (the paper's evaluation, Section 4).
+
+Each module reproduces one figure; ``python -m repro.experiments <name>``
+runs it from the command line.  See DESIGN.md for the experiment index and
+EXPERIMENTS.md for paper-vs-measured outcomes.
+"""
+
+from . import (
+    ext_accuracy,
+    ext_attribution,
+    ext_conflict_aware,
+    ext_miss_classification,
+    ext_parameters,
+    ext_sensitivity,
+    fig2_padding,
+    fig3_tile_locality,
+    fig56_perf,
+    fig7_conversion,
+    fig8_noconversion,
+    fig9_cache,
+)
+from .runner import ExperimentResult
+
+__all__ = [
+    "ExperimentResult",
+    "fig2_padding",
+    "fig3_tile_locality",
+    "fig56_perf",
+    "fig7_conversion",
+    "fig8_noconversion",
+    "fig9_cache",
+    "ext_accuracy",
+    "ext_attribution",
+    "ext_conflict_aware",
+    "ext_miss_classification",
+    "ext_parameters",
+    "ext_sensitivity",
+]

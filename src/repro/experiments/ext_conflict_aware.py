@@ -1,0 +1,89 @@
+"""Extension experiment — conflict-aware tile selection (paper future work).
+
+Section 4.2 ends: "We are currently examining ways to eliminate these
+conflict misses."  This experiment implements and evaluates one such way:
+the dynamic truncation search additionally rejects tile choices whose
+Morton quadrant bases are congruent modulo the L1 cache size, accepting a
+little extra padding instead (the 505..512 regime then pads to 528 with
+tile 33, exactly what 513 gets for free).
+
+The output extends Figure 9 with a third column: the conflict-aware
+MODGEMM's miss ratio, which should sit at the post-513 level *throughout*
+the window, at the cost of the overpadding flops also reported.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..cachesim.hierarchy import CacheHierarchy
+from ..cachesim.machines import ATOM_EXPERIMENT, scale_machine
+from ..cachesim.trace import SimulatorSink
+from ..cachesim.tracegen import modgemm_trace
+from ..layout.padding import TileRange, select_common_tiling
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    scale: int = 4,
+    sizes: "Iterable[int] | None" = None,
+) -> ExperimentResult:
+    """Miss ratios of standard vs conflict-aware tile selection."""
+    dim_scale = math.isqrt(scale)
+    if dim_scale * dim_scale != scale:
+        raise ValueError(f"scale must be a perfect square, got {scale}")
+    machine = scale_machine(ATOM_EXPERIMENT, scale)
+    cache_bytes = machine.levels[0].size_bytes
+    tile_range = TileRange(16 // dim_scale, 64 // dim_scale)
+    if sizes is None:
+        sizes = range(-(-500 // dim_scale), -(-523 // dim_scale) + 1)
+    sizes = [int(n) for n in sizes]
+
+    rows = []
+    for n in sizes:
+        std = select_common_tiling((n, n, n), tile_range)
+        aware = select_common_tiling((n, n, n), tile_range, cache_bytes=cache_bytes)
+        assert std is not None and aware is not None
+        h_std = CacheHierarchy(list(machine.levels))
+        ops_std = modgemm_trace(std, SimulatorSink(h_std))
+        h_aw = CacheHierarchy(list(machine.levels))
+        ops_aw = modgemm_trace(aware, SimulatorSink(h_aw))
+        rows.append(
+            (
+                n * dim_scale,
+                n,
+                std[0].tile,
+                aware[0].tile,
+                100.0 * h_std.miss_ratio(),
+                100.0 * h_aw.miss_ratio(),
+                ops_aw.flops / ops_std.flops,
+            )
+        )
+    return ExperimentResult(
+        name="ext-conflict",
+        title="Conflict-aware tile selection vs standard (Figure 9 extension)",
+        columns=(
+            "n_paper",
+            "n_scaled",
+            "tile_std",
+            "tile_aware",
+            "std_miss_pct",
+            "aware_miss_pct",
+            "flop_ratio",
+        ),
+        rows=rows,
+        notes=(
+            "The conflict-aware policy should hold the post-513 miss level "
+            "across the whole window; flop_ratio shows the overpadding "
+            "price it pays in the power-of-two regime."
+        ),
+        chart={
+            "standard": ("n_paper", "std_miss_pct"),
+            "conflict-aware": ("n_paper", "aware_miss_pct"),
+        },
+        x_label="matrix size (paper scale)",
+        y_label="miss %",
+    )

@@ -1,0 +1,93 @@
+"""Extension experiment — CProf-style miss classification (Section 4.2).
+
+The paper: "Preliminary investigations using CProf reveal that this drop
+[at 513] is due to a reduction in conflict misses."  This experiment
+verifies that claim with the three-C decomposition: across the Figure 9
+window, compulsory and capacity misses barely move, while the conflict
+component collapses exactly when dynamic tile selection leaves the
+power-of-two padded size.
+
+Runs at the scale-16 geometry by default (the classification's
+fully-associative reference is per-access work, so the smallest faithful
+geometry is preferred; the conflict collapse is alignment-driven and
+survives any exact geometric scale).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..cachesim.classify import classify_misses
+from ..cachesim.machines import ATOM_EXPERIMENT, scale_machine
+from ..cachesim.trace import TraceCollector
+from ..cachesim.tracegen import modgemm_trace
+from ..layout.padding import TileRange, select_common_tiling
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    scale: int = 16,
+    sizes: "Iterable[int] | None" = None,
+) -> ExperimentResult:
+    """Three-C decomposition of MODGEMM misses across the window."""
+    dim_scale = math.isqrt(scale)
+    if dim_scale * dim_scale != scale:
+        raise ValueError(f"scale must be a perfect square, got {scale}")
+    machine = scale_machine(ATOM_EXPERIMENT, scale)
+    config = machine.levels[0]
+    tile_range = TileRange(16 // dim_scale, 64 // dim_scale)
+    if sizes is None:
+        # A tight window straddling the 513 analogue.
+        mid = -(-513 // dim_scale)
+        sizes = range(mid - 3, mid + 3)
+    sizes = [int(n) for n in sizes]
+
+    rows = []
+    for n in sizes:
+        plan = select_common_tiling((n, n, n), tile_range)
+        assert plan is not None
+        coll = TraceCollector()
+        modgemm_trace(plan, coll)
+        mc = classify_misses(coll.concatenate(), config)
+        rows.append(
+            (
+                n * dim_scale,
+                n,
+                plan[0].tile,
+                100.0 * mc.miss_ratio,
+                100.0 * mc.compulsory / mc.accesses,
+                100.0 * mc.capacity / mc.accesses,
+                100.0 * mc.conflict / mc.accesses,
+                100.0 * mc.conflict_share,
+            )
+        )
+    return ExperimentResult(
+        name="ext-classify",
+        title="Three-C miss classification across the Figure 9 window (MODGEMM)",
+        columns=(
+            "n_paper",
+            "n_scaled",
+            "tile",
+            "miss_pct",
+            "compulsory_pct",
+            "capacity_pct",
+            "conflict_pct",
+            "conflict_share_pct",
+        ),
+        rows=rows,
+        notes=(
+            "Expect compulsory and capacity components roughly flat while "
+            "the conflict component collapses at the 513-analogue — the "
+            "paper's CProf diagnosis, reproduced."
+        ),
+        chart={
+            "total miss %": ("n_paper", "miss_pct"),
+            "conflict %": ("n_paper", "conflict_pct"),
+            "capacity %": ("n_paper", "capacity_pct"),
+        },
+        x_label="matrix size (paper scale)",
+        y_label="% of accesses",
+    )

@@ -1,0 +1,123 @@
+"""Figure 9 — cache miss ratios, MODGEMM vs DGEFMM (16 KB DM, 32 B blocks).
+
+The paper traces both implementations with ATOM for matrix sizes 500..523
+through a 16 KB direct-mapped cache with 32-byte blocks, finding (a)
+MODGEMM's miss ratio below DGEFMM's throughout, and (b) a dramatic drop in
+MODGEMM's ratio at size 513 — the sizes 505..512 pad to 512 with tile 32,
+whose 8 KB leaf quadrant groups collide in the cache (NW and SW quadrant
+bases sit exactly one cache-size apart), while 513 pads to 528 with tile
+33, which breaks the power-of-two alignment.
+
+The default run is geometry-scaled (cache capacity by ``scale``, matrix
+dimensions and tile range by ``sqrt(scale)``) so it completes in seconds
+while preserving every base-address congruence and therefore the anomaly;
+``scale=1`` runs the paper's exact sizes (a few minutes of simulation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..cachesim.machines import ATOM_EXPERIMENT, scale_machine
+from ..cachesim.trace import SimulatorSink
+from ..cachesim.tracegen import dgefmm_trace, modgemm_trace
+from ..cachesim.hierarchy import CacheHierarchy
+from ..layout.padding import TileRange, select_common_tiling, select_tiling
+from .runner import ExperimentResult
+
+__all__ = ["run", "explain"]
+
+
+def run(
+    scale: int = 4,
+    sizes: "Iterable[int] | None" = None,
+) -> ExperimentResult:
+    """Miss ratios of MODGEMM and DGEFMM across the anomaly window."""
+    dim_scale = math.isqrt(scale)
+    if dim_scale * dim_scale != scale:
+        raise ValueError(f"scale must be a perfect square, got {scale}")
+    machine = scale_machine(ATOM_EXPERIMENT, scale)
+    tile_range = TileRange(16 // dim_scale, 64 // dim_scale)
+    trunc = 64 // dim_scale
+    if sizes is None:
+        sizes = range(-(-500 // dim_scale), -(-523 // dim_scale) + 1)
+    sizes = [int(n) for n in sizes]
+
+    rows = []
+    for n in sizes:
+        plan = select_common_tiling((n, n, n), tile_range)
+        assert plan is not None
+        h_mod = CacheHierarchy(list(machine.levels))
+        modgemm_trace(plan, SimulatorSink(h_mod))
+        h_dge = CacheHierarchy(list(machine.levels))
+        dgefmm_trace(n, n, n, SimulatorSink(h_dge), truncation=trunc)
+        rows.append(
+            (
+                n * dim_scale,
+                n,
+                plan[0].padded,
+                plan[0].tile,
+                100.0 * h_mod.miss_ratio(),
+                100.0 * h_dge.miss_ratio(),
+            )
+        )
+    cache = machine.levels[0]
+    return ExperimentResult(
+        name="fig9",
+        title=(
+            f"Miss ratios, {cache.size_bytes // 1024} KB direct-mapped, "
+            f"{cache.block_bytes} B blocks (scale 1/{scale})"
+        ),
+        columns=(
+            "n_paper",
+            "n_scaled",
+            "padded",
+            "tile",
+            "modgemm_miss_pct",
+            "dgefmm_miss_pct",
+        ),
+        rows=rows,
+        notes=(
+            "Expect MODGEMM below DGEFMM throughout, with MODGEMM dropping "
+            f"sharply at the {513}-analogue (n_scaled="
+            f"{-(-513 // dim_scale)}), where dynamic tile selection leaves "
+            "the power-of-two padded size and its quadrant conflicts behind."
+        ),
+        chart={
+            "MODGEMM": ("n_paper", "modgemm_miss_pct"),
+            "DGEFMM": ("n_paper", "dgefmm_miss_pct"),
+        },
+        x_label="matrix size (paper scale)",
+        y_label="miss %",
+    )
+
+
+def explain(
+    n: int = 505,
+    cache_bytes: int = 16 * 1024,
+    tile_range: TileRange = TileRange(),
+) -> str:
+    """The Section 4.2 conflict arithmetic for a given size, as text."""
+    t = select_tiling(n, tile_range)
+    leaf_bytes = t.tile * t.tile * 8
+    group = 4 * leaf_bytes
+    lines = [
+        f"n = {n}: padded to {t.padded} with tile {t.tile} (depth {t.depth}).",
+        f"A leaf tile is {t.tile}x{t.tile}x8B = {leaf_bytes} bytes; the four",
+        f"quadrants of a {2 * t.tile}x{2 * t.tile} submatrix are contiguous, "
+        f"so the group spans {group} bytes.",
+    ]
+    if group % cache_bytes == 0 or (2 * leaf_bytes) % cache_bytes == 0:
+        lines.append(
+            f"NW and SW quadrant bases are separated by {2 * leaf_bytes} bytes "
+            f"= a multiple of the {cache_bytes}-byte cache: they map to the "
+            "same sets and conflict on every paired access."
+        )
+    else:
+        lines.append(
+            f"NW and SW quadrant bases are separated by {2 * leaf_bytes} bytes, "
+            f"not a multiple of the {cache_bytes}-byte cache: no systematic "
+            "quadrant conflicts (this is the post-513 regime)."
+        )
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Shared machinery for the per-figure experiment runners.
+
+Every experiment returns an :class:`ExperimentResult` — a titled table of
+rows plus chart series — which the CLI renders as text/ASCII charts and
+the benchmark harness inspects programmatically.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..analysis.plotting import ascii_chart, format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure."""
+
+    name: str  #: experiment id, e.g. "fig9"
+    title: str
+    columns: Sequence[str]
+    rows: list[tuple]
+    notes: str = ""
+    #: chart series {label: (x column name, y column name)}
+    chart: Mapping[str, tuple[str, str]] = field(default_factory=dict)
+    x_label: str = ""
+    y_label: str = ""
+
+    def column(self, name: str) -> list:
+        """All values of one named column."""
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+    def series(self) -> dict[str, tuple[list[float], list[float]]]:
+        """Chart series resolved to concrete (xs, ys) lists."""
+        return {
+            label: (self.column(xc), self.column(yc))
+            for label, (xc, yc) in self.chart.items()
+        }
+
+    def to_text(self, with_chart: bool = True) -> str:
+        """Render title, notes, table, and (optionally) the ASCII chart."""
+        parts = [f"== {self.name}: {self.title} =="]
+        if self.notes:
+            parts.append(self.notes.strip())
+        parts.append(format_table(self.columns, self.rows))
+        if with_chart and self.chart and len(self.rows) > 1:
+            parts.append("")
+            parts.append(
+                ascii_chart(
+                    self.series(),
+                    title=self.title,
+                    x_label=self.x_label,
+                    y_label=self.y_label,
+                )
+            )
+        return "\n".join(parts)
+
+    def to_csv(self) -> str:
+        """Render the rows as CSV (header included)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buf.getvalue()

@@ -1,0 +1,58 @@
+"""Morton-order (quadtree) matrix layout engine.
+
+This package implements the paper's internal data layout (Section 3.3):
+matrices are decomposed by quadrants (NW, NE, SW, SE) down to ``T x T``
+tiles, each tile stored contiguously in column-major order.  It also
+implements the dynamic recursion-truncation-point selection of Section 3.4,
+which picks the tile size from a range so as to minimise padding.
+
+Public surface:
+
+* :func:`repro.layout.padding.select_tiling` / ``select_common_tiling`` —
+  tile-size & depth search minimising padding.
+* :class:`repro.layout.matrix.MortonMatrix` — the Morton-ordered container,
+  with contiguous quadrant views at every level.
+* :func:`repro.layout.convert.dense_to_morton` /
+  :func:`repro.layout.convert.morton_to_dense` — interface-level layout
+  conversion, with transposition fused in (Section 3.5).
+* :mod:`repro.layout.morton` — bit-interleaving index arithmetic.
+"""
+
+from .padding import (
+    TileRange,
+    Tiling,
+    select_tiling,
+    select_common_tiling,
+    feasible_depths,
+    padded_size,
+    conflict_levels,
+)
+from .morton import (
+    spread_bits,
+    compact_bits,
+    interleave2,
+    deinterleave2,
+    zorder_coords,
+    element_offsets,
+)
+from .matrix import MortonMatrix
+from .convert import dense_to_morton, morton_to_dense
+
+__all__ = [
+    "TileRange",
+    "Tiling",
+    "select_tiling",
+    "select_common_tiling",
+    "feasible_depths",
+    "padded_size",
+    "conflict_levels",
+    "spread_bits",
+    "compact_bits",
+    "interleave2",
+    "deinterleave2",
+    "zorder_coords",
+    "element_offsets",
+    "MortonMatrix",
+    "dense_to_morton",
+    "morton_to_dense",
+]

@@ -1,0 +1,53 @@
+"""Tile-grid enumeration helpers shared by conversion and trace generation.
+
+The tile grid of a depth-``d`` Morton matrix is always square,
+``2**d x 2**d`` (a GEMM unfolds every dimension to the same depth), so the
+z-order enumeration depends only on the depth and is cached.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, NamedTuple
+
+import numpy as np
+
+from .morton import zorder_coords
+
+__all__ = ["TileSpan", "zorder_table", "iter_tiles"]
+
+
+class TileSpan(NamedTuple):
+    """One leaf tile's position in both coordinate systems."""
+
+    z: int  #: rank in the Morton sequence (== tile index in the buffer)
+    ti: int  #: tile-grid row
+    tj: int  #: tile-grid column
+    row0: int  #: first padded-matrix row covered
+    col0: int  #: first padded-matrix column covered
+    offset: int  #: start offset of the tile in the flat Morton buffer
+
+
+@lru_cache(maxsize=32)
+def zorder_table(depth: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cached ``(ti, tj)`` arrays for the ``4**depth`` tiles in z-order."""
+    ti, tj = zorder_coords(depth)
+    ti.setflags(write=False)
+    tj.setflags(write=False)
+    return ti, tj
+
+
+def iter_tiles(depth: int, tile_r: int, tile_c: int) -> Iterator[TileSpan]:
+    """Iterate leaf tiles in Morton (memory) order."""
+    ti, tj = zorder_table(depth)
+    tile_elems = tile_r * tile_c
+    for z in range(ti.shape[0]):
+        r, c = int(ti[z]), int(tj[z])
+        yield TileSpan(
+            z=z,
+            ti=r,
+            tj=c,
+            row0=r * tile_r,
+            col0=c * tile_c,
+            offset=z * tile_elems,
+        )

@@ -1,0 +1,52 @@
+"""Unit tests for accuracy measurement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import (
+    error_vs_reference,
+    higham_bound_factor,
+    max_relative_error,
+)
+from repro.core.modgemm import modgemm
+
+
+class TestMaxRelativeError:
+    def test_zero_for_identical(self):
+        a = np.ones((3, 3))
+        assert max_relative_error(a, a) == 0.0
+
+    def test_scale_invariance_floor(self):
+        # For tiny references the denominator floors at 1.
+        assert max_relative_error(np.array([[1e-12]]), np.array([[0.0]])) == 1e-12
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_relative_error(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestErrorVsReference:
+    def test_modgemm_error_is_tiny(self):
+        err = error_vs_reference(modgemm, 150, 150, 150)
+        assert err < 1e-11
+
+    def test_error_grows_with_depth_but_stays_bounded(self):
+        small = error_vs_reference(modgemm, 64, 64, 64)
+        large = error_vs_reference(modgemm, 513, 513, 513)
+        assert large < 1e-10
+        assert large >= small * 0.1  # sanity: both are noise-scale
+
+
+class TestHighamBound:
+    def test_grows_with_n(self):
+        assert higham_bound_factor(1024, 32) > higham_bound_factor(128, 32)
+
+    def test_positive(self):
+        for n in (10, 100, 1000):
+            assert higham_bound_factor(n, 32) > 0
+
+    def test_measured_error_within_bound(self):
+        # The conservative analytic tolerance must dominate measurements.
+        for n in (100, 200, 513):
+            err = error_vs_reference(modgemm, n, n, n)
+            assert err < higham_bound_factor(n, 16)

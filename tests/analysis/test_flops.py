@@ -1,0 +1,101 @@
+"""Unit tests for closed-form operation counts."""
+
+import pytest
+
+from repro.analysis.flops import (
+    conventional_flops,
+    dgefmm_flops,
+    dgemmw_flops,
+    leaf_mult_count,
+    strassen_original_flops,
+    winograd_add_count,
+    winograd_flops,
+)
+from repro.layout.padding import Tiling, select_common_tiling
+
+
+class TestBasics:
+    def test_conventional(self):
+        assert conventional_flops(2, 3, 4) == 48
+
+    def test_leaf_mult_count(self):
+        assert [leaf_mult_count(d) for d in range(4)] == [1, 7, 49, 343]
+
+    def test_leaf_mult_rejects_negative(self):
+        with pytest.raises(ValueError):
+            leaf_mult_count(-1)
+
+
+class TestWinogradCounts:
+    def test_depth_zero_no_adds(self):
+        assert winograd_add_count(0, 64, 64, 64) == 0
+
+    def test_one_level_square(self):
+        # One node: 15 quarter-size additions of a 2T x 2T problem.
+        assert winograd_add_count(1, 64, 64, 64) == 15 * 32 * 32
+
+    def test_two_levels(self):
+        n = 128
+        h, q = n // 2, n // 4
+        expected = 15 * h * h + 7 * 15 * q * q
+        assert winograd_add_count(2, n, n, n) == expected
+
+    def test_total_flops_structure(self):
+        plan = (Tiling(128, 32, 2), Tiling(128, 32, 2), Tiling(128, 32, 2))
+        total = winograd_flops(plan)
+        assert total == 49 * 2 * 32**3 + winograd_add_count(2, 128, 128, 128)
+
+    def test_winograd_beats_conventional_asymptotically(self):
+        plan = select_common_tiling((1024, 1024, 1024))
+        assert winograd_flops(plan) < conventional_flops(1024, 1024, 1024)
+
+    def test_strassen_has_more_adds_than_winograd(self):
+        plan = select_common_tiling((512, 512, 512))
+        assert strassen_original_flops(plan) > winograd_flops(plan)
+        # ... but the same multiplication count, so the gap is bounded by
+        # the addition-count ratio 18/15.
+        gap = strassen_original_flops(plan) - winograd_flops(plan)
+        adds = winograd_add_count(plan[0].depth, *[t.padded for t in plan])
+        assert gap == pytest.approx(adds * 3 / 15)
+
+
+class TestDgefmmFlops:
+    def test_leaf_case(self):
+        assert dgefmm_flops(10, 20, 30, truncation=64) == conventional_flops(10, 20, 30)
+
+    def test_even_recursion(self):
+        n = 128
+        got = dgefmm_flops(n, n, n, truncation=64)
+        expected = 7 * conventional_flops(64, 64, 64) + 15 * 64 * 64
+        assert got == expected
+
+    def test_odd_adds_fixups(self):
+        even = dgefmm_flops(128, 128, 128, truncation=64)
+        odd = dgefmm_flops(129, 129, 129, truncation=64)
+        assert odd > even
+
+    def test_monotone_in_size(self):
+        vals = [dgefmm_flops(n, n, n, truncation=32) for n in range(64, 200, 8)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+
+class TestDgemmwFlops:
+    def test_leaf_case(self):
+        assert dgemmw_flops(10, 20, 30, truncation=64) == conventional_flops(10, 20, 30)
+
+    def test_even_recursion_matches_dgefmm(self):
+        # No odd dimensions anywhere: overlap and peeling do exactly the
+        # same arithmetic.
+        assert dgemmw_flops(128, 128, 128, 32) == dgefmm_flops(128, 128, 128, 32)
+
+    def test_odd_sizes_cost_redundant_work(self):
+        # Overlap computes the duplicated strips twice.
+        assert dgemmw_flops(129, 129, 129, 32) > dgefmm_flops(129, 129, 129, 32)
+
+    def test_matches_instrumented_tracer(self):
+        from repro.cachesim.trace import CountingSink
+        from repro.cachesim.tracegen import dgemmw_trace
+
+        for dims in [(100, 100, 100), (127, 130, 97)]:
+            tr = dgemmw_trace(*dims, CountingSink(), truncation=32)
+            assert tr.flops == dgemmw_flops(*dims, truncation=32)

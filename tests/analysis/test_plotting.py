@@ -1,0 +1,64 @@
+"""Unit tests for ASCII table/chart rendering."""
+
+import pytest
+
+from repro.analysis.plotting import ascii_chart, format_table
+
+
+class TestFormatTable:
+    def test_header_and_rows(self):
+        out = format_table(("a", "bb"), [(1, 2.5), (30, 4.125)])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "30" in lines[3]
+
+    def test_float_precision(self):
+        out = format_table(("x",), [(1.23456789,)], precision=3)
+        assert "1.23" in out and "1.2345" not in out
+
+    def test_alignment_widths(self):
+        out = format_table(("verylongheader",), [(1,)])
+        header, sep, row = out.splitlines()
+        assert len(header) == len(sep) == len(row)
+
+
+class TestAsciiChart:
+    def test_contains_glyphs_and_legend(self):
+        chart = ascii_chart(
+            {"up": ([0, 1, 2], [0.0, 1.0, 2.0]), "down": ([0, 1, 2], [2.0, 1.0, 0.0])},
+            width=20,
+            height=5,
+        )
+        assert "o=up" in chart and "x=down" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart(
+            {"s": ([0, 10], [0.0, 5.0])},
+            title="T", x_label="size", y_label="ms",
+        )
+        assert chart.splitlines()[0] == "T"
+        assert "size" in chart and "ms" in chart
+        assert "10" in chart  # x max
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart({"flat": ([1, 2, 3], [5.0, 5.0, 5.0])})
+        assert "flat" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart({"p": ([1], [1.0])}, width=10, height=4)
+        assert "o" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"e": ([], [])})
+
+    def test_overlap_marked(self):
+        chart = ascii_chart(
+            {"a": ([0], [0.0]), "b": ([0], [0.0]), "c": ([1], [1.0])},
+            width=10, height=4,
+        )
+        assert "?" in chart  # collision glyph

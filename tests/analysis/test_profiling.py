@@ -1,0 +1,45 @@
+"""Unit tests for the profiling helper."""
+
+import pytest
+
+from repro.analysis.profiling import Hotspot, hotspot_table, profile_call
+
+
+def busy():
+    return sum(i * i for i in range(20000))
+
+
+class TestProfileCall:
+    def test_returns_hotspots(self):
+        rows = profile_call(busy, top=5)
+        assert 0 < len(rows) <= 5
+        assert all(isinstance(h, Hotspot) for h in rows)
+
+    def test_sorted_by_own_time(self):
+        rows = profile_call(busy, top=10)
+        times = [h.total_time for h in rows]
+        assert times == sorted(times, reverse=True)
+
+    def test_finds_the_actual_hotspot(self):
+        rows = profile_call(busy, top=3)
+        assert any("genexpr" in h.function or "busy" in h.function for h in rows)
+
+    def test_top_validation(self):
+        with pytest.raises(ValueError):
+            profile_call(busy, top=0)
+
+    def test_exception_still_disables_profiler(self):
+        def boom():
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            profile_call(boom)
+        # profiler must not be left enabled: a subsequent call works
+        assert profile_call(busy)
+
+
+class TestHotspotTable:
+    def test_renders(self):
+        rows = profile_call(busy, top=3)
+        table = hotspot_table(rows)
+        assert "own_s" in table and "function" in table

@@ -1,0 +1,46 @@
+"""Unit tests for the timing protocol."""
+
+import pytest
+
+from repro.analysis.timing import TimingProtocol, measure
+
+
+class TestProtocol:
+    def test_paper_defaults(self):
+        p = TimingProtocol()
+        assert p.small_threshold == 500
+        assert p.small_reps == 10
+        assert p.trials == 3
+
+    def test_reps_rule(self):
+        p = TimingProtocol()
+        assert p.reps(499) == 10
+        assert p.reps(500) == 1
+        assert p.reps(1024) == 1
+
+    def test_run_counts_invocations(self):
+        p = TimingProtocol(small_threshold=100, small_reps=4, trials=3)
+        calls = []
+        p.run(lambda: calls.append(1), size=50)
+        assert len(calls) == 12  # 3 trials x 4 reps
+
+    def test_large_size_single_rep(self):
+        p = TimingProtocol(trials=2)
+        calls = []
+        p.run(lambda: calls.append(1), size=1000)
+        assert len(calls) == 2
+
+    def test_returns_positive_seconds(self):
+        t = measure(lambda: sum(range(1000)), size=1000,
+                    protocol=TimingProtocol(trials=1))
+        assert t > 0
+
+    def test_min_of_trials(self, monkeypatch):
+        # Fake clock: successive perf_counter calls step by shrinking deltas,
+        # so later trials are "faster"; run() must return the minimum.
+        times = iter([0.0, 3.0, 10.0, 12.0, 20.0, 21.0])
+        monkeypatch.setattr(
+            "repro.analysis.timing.time.perf_counter", lambda: next(times)
+        )
+        p = TimingProtocol(small_threshold=0, trials=3)
+        assert p.run(lambda: None, size=10) == pytest.approx(1.0)

@@ -1,0 +1,55 @@
+"""Unit tests for the conventional baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.conventional import conventional_gemm, tiled_gemm
+
+from ..conftest import assert_gemm_close
+
+
+class TestConventionalGemm:
+    def test_plain(self, rng):
+        a = rng.standard_normal((30, 40))
+        b = rng.standard_normal((40, 20))
+        assert np.allclose(conventional_gemm(a, b), a @ b)
+
+    def test_blas_contract(self, rng):
+        a = rng.standard_normal((30, 40))
+        b = rng.standard_normal((20, 30))
+        c0 = rng.standard_normal((40, 20))
+        c = c0.copy()
+        out = conventional_gemm(a, b, c=c, alpha=2.0, beta=0.5, op_a="t", op_b="t")
+        assert out is c
+        assert np.allclose(out, 2.0 * (a.T @ b.T) + 0.5 * c0)
+
+
+class TestTiledGemm:
+    @pytest.mark.parametrize("tile", [1, 7, 16, 32, 100])
+    def test_tile_size_invariant(self, rng, tile):
+        a = rng.standard_normal((33, 45))
+        b = rng.standard_normal((45, 28))
+        assert_gemm_close(tiled_gemm(a, b, tile=tile), a @ b)
+
+    def test_out_parameter(self, rng):
+        a = rng.standard_normal((10, 10))
+        b = rng.standard_normal((10, 10))
+        out = np.full((10, 10), 9.0, order="F")
+        result = tiled_gemm(a, b, tile=4, out=out)
+        assert result is out
+        assert_gemm_close(out, a @ b)
+
+    def test_bad_tile_rejected(self):
+        with pytest.raises(ValueError):
+            tiled_gemm(np.eye(4), np.eye(4), tile=0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            tiled_gemm(np.zeros((3, 4)), np.zeros((5, 6)))
+        with pytest.raises(ValueError):
+            tiled_gemm(np.eye(3), np.eye(3), out=np.zeros((2, 2)))
+
+    def test_blocked_kernel_variant(self, rng):
+        a = rng.standard_normal((20, 20))
+        b = rng.standard_normal((20, 20))
+        assert_gemm_close(tiled_gemm(a, b, tile=8, kernel="blocked"), a @ b)

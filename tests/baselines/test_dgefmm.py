@@ -1,0 +1,95 @@
+"""Unit tests for the dynamic-peeling baseline (DGEFMM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dgefmm import DEFAULT_TRUNCATION, dgefmm, peeled_multiply
+
+from ..conftest import assert_gemm_close
+
+
+class TestPeeledMultiply:
+    @pytest.mark.parametrize(
+        "dims",
+        [
+            (64, 64, 64),     # at truncation: single kernel call
+            (65, 65, 65),     # one peel at the top
+            (128, 128, 128),  # clean power of two
+            (127, 127, 127),  # peeling at every level
+            (130, 70, 200),   # rectangular
+            (513, 513, 513),
+        ],
+    )
+    def test_matches_numpy(self, rng, dims):
+        m, k, n = dims
+        a = np.asfortranarray(rng.standard_normal((m, k)))
+        b = np.asfortranarray(rng.standard_normal((k, n)))
+        assert_gemm_close(peeled_multiply(a, b, truncation=32), a @ b)
+
+    def test_odd_every_dimension_combination(self, rng):
+        # peel combinations: each of m, k, n independently odd
+        for dm in (0, 1):
+            for dk in (0, 1):
+                for dn in (0, 1):
+                    m, k, n = 66 + dm, 66 + dk, 66 + dn
+                    a = rng.standard_normal((m, k))
+                    b = rng.standard_normal((k, n))
+                    assert_gemm_close(peeled_multiply(a, b, truncation=32), a @ b)
+
+    def test_truncation_respected(self, rng):
+        # At truncation >= all dims the call is one conventional product.
+        calls = []
+
+        def spy_kernel(a, b, out, accumulate=False):
+            calls.append(a.shape)
+            out[...] = a @ b
+
+        a = rng.standard_normal((50, 50))
+        b = rng.standard_normal((50, 50))
+        peeled_multiply(a, b, truncation=64, kernel=spy_kernel)
+        assert calls == [(50, 50)]
+
+    def test_recursion_produces_seven_subproducts(self, rng):
+        calls = []
+
+        def spy_kernel(a, b, out, accumulate=False):
+            calls.append(a.shape)
+            out[...] = a @ b
+
+        a = rng.standard_normal((128, 128))
+        b = rng.standard_normal((128, 128))
+        peeled_multiply(a, b, truncation=64, kernel=spy_kernel)
+        assert len(calls) == 7
+        assert all(s == (64, 64) for s in calls)
+
+    def test_inner_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            peeled_multiply(np.zeros((4, 5)), np.zeros((4, 5)))
+
+    def test_bad_truncation_rejected(self):
+        with pytest.raises(ValueError):
+            peeled_multiply(np.eye(4), np.eye(4), truncation=0)
+
+
+class TestDgefmmInterface:
+    def test_default_truncation_is_paper_value(self):
+        assert DEFAULT_TRUNCATION == 64
+
+    def test_full_blas_contract(self, rng):
+        a = rng.standard_normal((90, 120))
+        b = rng.standard_normal((140, 90))
+        c0 = rng.standard_normal((120, 140))
+        c = c0.copy()
+        out = dgefmm(a, b, c=c, alpha=1.5, beta=-2.0, op_a="t", op_b="t", truncation=32)
+        assert out is c
+        assert_gemm_close(out, 1.5 * (a.T @ b.T) - 2.0 * c0)
+
+    def test_plain_product(self, rng):
+        a = rng.standard_normal((150, 150))
+        b = rng.standard_normal((150, 150))
+        assert_gemm_close(dgefmm(a, b), a @ b)
+
+    def test_alpha_only(self, rng):
+        a = rng.standard_normal((70, 70))
+        b = rng.standard_normal((70, 70))
+        assert_gemm_close(dgefmm(a, b, alpha=3.0, truncation=32), 3.0 * (a @ b))

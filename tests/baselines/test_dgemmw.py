@@ -1,0 +1,68 @@
+"""Unit tests for the dynamic-overlap baseline (DGEMMW)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dgemmw import dgemmw, overlap_multiply
+
+from ..conftest import assert_gemm_close
+
+
+class TestOverlapMultiply:
+    @pytest.mark.parametrize(
+        "dims",
+        [
+            (64, 64, 64),
+            (65, 65, 65),     # overlap in all three dimensions
+            (65, 64, 64),     # odd m only (output-row overlap)
+            (64, 65, 64),     # odd k only (inner overlap: zeroed column)
+            (64, 64, 65),     # odd n only (output-column overlap)
+            (127, 129, 131),
+            (200, 150, 170),
+            (513, 513, 513),
+        ],
+    )
+    def test_matches_numpy(self, rng, dims):
+        m, k, n = dims
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        assert_gemm_close(overlap_multiply(a, b, truncation=32), a @ b)
+
+    def test_repeated_odd_halving(self, rng):
+        # ceil-halving 101 -> 51 -> 26: overlap at several levels.
+        a = rng.standard_normal((101, 101))
+        b = rng.standard_normal((101, 101))
+        assert_gemm_close(overlap_multiply(a, b, truncation=16), a @ b)
+
+    def test_operands_not_mutated(self, rng):
+        # The k-overlap zeroes a column — it must happen on the copies.
+        a = rng.standard_normal((65, 65))
+        b = rng.standard_normal((65, 65))
+        a0, b0 = a.copy(), b.copy()
+        overlap_multiply(a, b, truncation=16)
+        assert np.array_equal(a, a0)
+        assert np.array_equal(b, b0)
+
+    def test_inner_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_multiply(np.zeros((4, 5)), np.zeros((4, 5)))
+
+    def test_bad_truncation_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_multiply(np.eye(4), np.eye(4), truncation=-1)
+
+
+class TestDgemmwInterface:
+    def test_full_blas_contract(self, rng):
+        a = rng.standard_normal((90, 120))
+        b = rng.standard_normal((140, 90))
+        c0 = rng.standard_normal((120, 140))
+        c = c0.copy()
+        out = dgemmw(a, b, c=c, alpha=0.5, beta=1.0, op_a="t", op_b="t", truncation=32)
+        assert out is c
+        assert_gemm_close(out, 0.5 * (a.T @ b.T) + c0)
+
+    def test_plain_product(self, rng):
+        a = rng.standard_normal((150, 150))
+        b = rng.standard_normal((150, 150))
+        assert_gemm_close(dgemmw(a, b), a @ b)

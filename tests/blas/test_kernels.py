@@ -1,0 +1,83 @@
+"""Unit tests for the leaf multiplication kernels."""
+
+import numpy as np
+import pytest
+
+from repro.blas.kernels import (
+    KERNELS,
+    blocked_matmul,
+    get_kernel,
+    leaf_matmul,
+    naive_matmul,
+)
+
+ALL = [leaf_matmul, blocked_matmul, naive_matmul]
+
+
+@pytest.mark.parametrize("kernel", ALL)
+class TestKernelContract:
+    def test_overwrite(self, rng, kernel):
+        a = rng.standard_normal((6, 5))
+        b = rng.standard_normal((5, 7))
+        out = np.full((6, 7), np.nan)  # poison: must be fully overwritten
+        kernel(a, b, out)
+        assert np.allclose(out, a @ b)
+
+    def test_accumulate(self, rng, kernel):
+        a = rng.standard_normal((4, 4))
+        b = rng.standard_normal((4, 4))
+        out = np.ones((4, 4))
+        kernel(a, b, out, accumulate=True)
+        assert np.allclose(out, 1.0 + a @ b)
+
+    def test_fortran_order_destination(self, rng, kernel):
+        a = np.asfortranarray(rng.standard_normal((8, 8)))
+        b = np.asfortranarray(rng.standard_normal((8, 8)))
+        out = np.empty((8, 8), order="F")
+        kernel(a, b, out)
+        assert np.allclose(out, a @ b)
+
+    def test_strided_destination(self, rng, kernel):
+        a = rng.standard_normal((4, 4))
+        b = rng.standard_normal((4, 4))
+        big = np.zeros((8, 8), order="F")
+        out = big[2:6, 1:5]  # non-contiguous view
+        kernel(a, b, out)
+        assert np.allclose(out, a @ b)
+
+
+class TestShapeValidation:
+    def test_blocked_rejects_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            blocked_matmul(np.zeros((2, 3)), np.zeros((4, 2)), np.zeros((2, 2)))
+
+    def test_naive_rejects_bad_out(self):
+        with pytest.raises(ValueError):
+            naive_matmul(np.zeros((2, 3)), np.zeros((3, 2)), np.zeros((3, 3)))
+
+
+class TestBlocking:
+    def test_block_size_does_not_change_result(self, rng):
+        a = rng.standard_normal((13, 17))
+        b = rng.standard_normal((17, 11))
+        ref = a @ b
+        for block in (1, 3, 8, 64):
+            out = np.empty((13, 11))
+            blocked_matmul(a, b, out, block=block)
+            assert np.allclose(out, ref)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(KERNELS) == {"numpy", "blocked", "naive"}
+
+    def test_get_by_name(self):
+        assert get_kernel("numpy") is leaf_matmul
+
+    def test_get_passthrough(self):
+        f = lambda a, b, out, accumulate=False: None
+        assert get_kernel(f) is f
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_kernel("fast")

@@ -1,0 +1,110 @@
+"""Unit tests for cache configuration and the LRU reference simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.cache import CacheConfig, CacheStats, LRUCache
+
+
+class TestCacheConfig:
+    def test_derived_geometry(self):
+        c = CacheConfig(16 * 1024, 32, assoc=1)
+        assert c.n_blocks == 512
+        assert c.n_sets == 512
+        assert c.block_bits == 5
+        assert c.set_bits == 9
+
+    def test_associative_sets(self):
+        c = CacheConfig(96 * 1024, 64, assoc=3)
+        assert c.n_sets == 512
+
+    def test_split(self):
+        c = CacheConfig(1024, 32, 1)  # 32 sets
+        sets, tags = c.split(np.array([0, 32, 1024, 1056]))
+        assert list(sets) == [0, 1, 0, 1]
+        assert list(tags) == [0, 0, 1, 1]
+
+    def test_rejects_non_pow2_block(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1024, 48, 1)
+
+    def test_rejects_indivisible_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 32, 1)
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(96 * 1024, 64, assoc=1)  # 1536 sets
+
+
+class TestCacheStats:
+    def test_ratios(self):
+        s = CacheStats(accesses=10, misses=3)
+        assert s.hits == 7
+        assert s.miss_ratio == 0.3
+
+    def test_empty_ratio_zero(self):
+        assert CacheStats().miss_ratio == 0.0
+
+    def test_merge(self):
+        a = CacheStats(10, 2)
+        a.merge(CacheStats(5, 1))
+        assert (a.accesses, a.misses) == (15, 3)
+
+
+class TestLRUCache:
+    def test_cold_misses(self):
+        c = LRUCache(CacheConfig(128, 32, 1))
+        miss = c.access(np.array([0, 32, 64, 96]))
+        assert miss.all()
+
+    def test_repeat_hits(self):
+        c = LRUCache(CacheConfig(128, 32, 1))
+        c.access(np.array([0]))
+        miss = c.access(np.array([0, 8, 31]))  # same block
+        assert not miss.any()
+
+    def test_direct_mapped_conflict(self):
+        # 4 sets of 32B: addresses 0 and 128 share set 0.
+        c = LRUCache(CacheConfig(128, 32, 1))
+        miss = c.access(np.array([0, 128, 0, 128]))
+        assert miss.all()
+
+    def test_two_way_absorbs_conflict(self):
+        c = LRUCache(CacheConfig(256, 32, 2))  # 4 sets, 2 ways
+        miss = c.access(np.array([0, 128, 0, 128]))
+        assert list(miss) == [True, True, False, False]
+
+    def test_lru_eviction_order(self):
+        # 1 set, 2 ways: A B C -> evicts A; touching A again misses, B evicted.
+        c = LRUCache(CacheConfig(64, 32, 2))
+        a, b, cc = 0, 64, 128
+        miss = c.access(np.array([a, b, cc, a, b]))
+        assert list(miss) == [True, True, True, True, True]
+
+    def test_lru_refresh_on_hit(self):
+        # A B A C: the hit on A refreshes it, so C evicts B, not A.
+        c = LRUCache(CacheConfig(64, 32, 2))
+        a, b, cc = 0, 64, 128
+        c.access(np.array([a, b, a, cc]))
+        miss = c.access(np.array([a]), return_mask=True)
+        assert not miss.any()
+
+    def test_count_only_mode(self):
+        c = LRUCache(CacheConfig(128, 32, 1))
+        n = c.access(np.array([0, 0, 32]), return_mask=False)
+        assert n == 2
+
+    def test_reset(self):
+        c = LRUCache(CacheConfig(128, 32, 1))
+        c.access(np.array([0]))
+        c.reset()
+        assert c.stats.accesses == 0
+        assert c.access(np.array([0])).all()  # cold again
+
+    def test_stats_accumulate_across_calls(self):
+        c = LRUCache(CacheConfig(128, 32, 1))
+        c.access(np.array([0, 32]))
+        c.access(np.array([0, 32]))
+        assert c.stats.accesses == 4
+        assert c.stats.misses == 2

@@ -1,0 +1,60 @@
+"""Unit tests for the Mattson one-pass capacity curve."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.cache import CacheConfig, LRUCache
+from repro.cachesim.classify import capacity_miss_curve
+
+
+class TestCapacityCurve:
+    def test_monotone_nonincreasing_in_capacity(self):
+        rng = np.random.default_rng(2)
+        addrs = rng.integers(0, 1 << 12, size=3000) * 8
+        caps = [1, 2, 4, 8, 16, 32, 64]
+        misses = capacity_miss_curve(addrs, 32, caps)
+        assert all(b <= a for a, b in zip(misses, misses[1:]))
+
+    def test_matches_lru_simulation(self):
+        # Cross-check against a one-set fully-associative LRU per capacity.
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 1 << 11, size=1500) * 8
+        for cap in (2, 8, 32):
+            (curve,) = capacity_miss_curve(addrs, 32, [cap])
+            lru = LRUCache(CacheConfig(cap * 32, 32, assoc=cap))
+            assert curve == lru.access(addrs, return_mask=False)
+
+    def test_infinite_capacity_leaves_compulsory(self):
+        addrs = np.tile(np.arange(10, dtype=np.int64) * 32, 5)
+        (misses,) = capacity_miss_curve(addrs, 32, [10**6])
+        assert misses == 10
+
+    def test_sequential_scan_all_capacities_same(self):
+        # No reuse at all: every capacity sees only compulsory misses.
+        addrs = np.arange(0, 32 * 100, 32, dtype=np.int64)
+        misses = capacity_miss_curve(addrs, 32, [1, 4, 64])
+        assert misses == [100, 100, 100]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            capacity_miss_curve(np.array([0]), 24, [1])
+        with pytest.raises(ValueError):
+            capacity_miss_curve(np.array([0]), 32, [0])
+
+
+class TestSensitivityExperiments:
+    def test_associativity_absorbs_modgemm_conflicts(self):
+        from repro.experiments.ext_sensitivity import run_associativity
+
+        r = run_associativity(scale=16, paper_size=256)  # small & fast
+        by_org = {row[1]: row[2] for row in r.rows}
+        # monotone: more ways never hurt, and 2-way ~ fully associative
+        assert by_org["2-way"] <= by_org["1-way (DM)"]
+        assert by_org["4-way"] <= by_org["2-way"] + 1e-9
+
+    def test_working_set_curve_shape(self):
+        from repro.experiments.ext_sensitivity import run_working_set
+
+        r = run_working_set(scale=16, paper_size=256)
+        mod = r.column("modgemm_miss_pct")
+        assert all(b <= a + 1e-12 for a, b in zip(mod, mod[1:]))

@@ -1,0 +1,154 @@
+"""Unit tests for miss classification (the CProf substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.cache import CacheConfig
+from repro.cachesim.classify import (
+    MissClasses,
+    RegionMap,
+    classify_misses,
+    stack_distances,
+)
+
+
+class TestStackDistances:
+    def test_handcrafted(self):
+        d = stack_distances(np.array([1, 2, 3, 1, 1, 2]))
+        assert d.tolist() == [-1, -1, -1, 2, 0, 2]
+
+    def test_first_accesses_negative(self):
+        d = stack_distances(np.arange(10))
+        assert (d == -1).all()
+
+    def test_immediate_reuse_zero(self):
+        d = stack_distances(np.array([5, 5, 5]))
+        assert d.tolist() == [-1, 0, 0]
+
+    def test_empty(self):
+        assert stack_distances(np.array([], dtype=np.int64)).size == 0
+
+    def test_thresholding_matches_lru_simulation(self):
+        # An LRU cache of capacity C hits exactly distances in [0, C).
+        rng = np.random.default_rng(11)
+        blocks = rng.integers(0, 50, size=2000)
+        d = stack_distances(blocks)
+        for cap in (1, 4, 16, 64):
+            from repro.cachesim.cache import LRUCache
+
+            # capacity in blocks via a 1-set fully-associative config
+            lru = LRUCache(CacheConfig(cap * 32, 32, assoc=cap))
+            misses = lru.access(blocks * 32, return_mask=False)
+            expected = int(np.count_nonzero((d < 0) | (d >= cap)))
+            assert misses == expected, cap
+
+
+class TestClassifyMisses:
+    CFG = CacheConfig(1024, 32, 1)  # 32 blocks
+
+    def test_pure_conflict_pattern(self):
+        trace = np.tile(np.array([0, 1024], dtype=np.int64), 500)
+        mc = classify_misses(trace, self.CFG)
+        assert mc.compulsory == 2
+        assert mc.capacity == 0
+        assert mc.conflict == 998
+        assert mc.miss_ratio == 1.0
+
+    def test_pure_capacity_pattern(self):
+        # Cyclic sweep of 64 blocks through a 32-block cache: every access
+        # misses in both DM and FA caches.
+        sweep = np.tile(np.arange(64, dtype=np.int64) * 32, 20)
+        mc = classify_misses(sweep, self.CFG)
+        assert mc.compulsory == 64
+        assert mc.conflict == 0
+        assert mc.capacity == 64 * 19
+
+    def test_resident_working_set_compulsory_only(self):
+        trace = np.tile(np.arange(16, dtype=np.int64) * 32, 50)
+        mc = classify_misses(trace, self.CFG)
+        assert mc.misses == mc.compulsory == 16
+
+    def test_totals_consistent_with_dm_simulation(self):
+        from repro.cachesim.vectorized import DirectMappedCache
+
+        rng = np.random.default_rng(3)
+        trace = rng.integers(0, 1 << 13, size=5000) * 8
+        mc = classify_misses(trace, self.CFG)
+        dm = DirectMappedCache(self.CFG)
+        dm.access(trace)
+        assert mc.misses == dm.stats.misses
+        assert mc.accesses == 5000
+
+    def test_empty_trace(self):
+        mc = classify_misses(np.array([], dtype=np.int64), self.CFG)
+        assert mc == MissClasses(0, 0, 0, 0)
+        assert mc.miss_ratio == 0.0 and mc.conflict_share == 0.0
+
+    def test_rejects_associative_config(self):
+        with pytest.raises(ValueError):
+            classify_misses(np.array([0]), CacheConfig(1024, 32, 2))
+
+
+class TestRegionMap:
+    def test_labels(self):
+        rm = RegionMap()
+        rm.add("A", 1000, 100)
+        rm.add("B", 2000, 100)
+        labels = rm.labels(np.array([1000, 1099, 1100, 2050, 0]))
+        assert labels == ["A", "A", "?", "B", "?"]
+
+    def test_overlap_rejected(self):
+        rm = RegionMap()
+        rm.add("A", 1000, 100)
+        with pytest.raises(ValueError):
+            rm.add("B", 1050, 10)
+        with pytest.raises(ValueError):
+            rm.add("C", 950, 60)
+
+    def test_attribution_counts(self):
+        rm = RegionMap()
+        rm.add("A", 0, 64)
+        rm.add("B", 1024, 64)
+        addrs = np.array([0, 8, 1024, 1032, 4096])
+        miss = np.array([True, False, True, True, True])
+        out = rm.attribute(addrs, miss)
+        assert out["A"] == (2, 1)
+        assert out["B"] == (2, 2)
+        assert out["?"] == (1, 1)
+
+    def test_add_array(self):
+        rm = RegionMap()
+        arr = np.zeros(16)
+        rm.add_array("buf", arr)
+        base = arr.__array_interface__["data"][0]
+        assert rm.labels(np.array([base, base + 127])) == ["buf", "buf"]
+
+    def test_mismatched_lengths_rejected(self):
+        rm = RegionMap()
+        rm.add("A", 0, 64)
+        with pytest.raises(ValueError):
+            rm.attribute(np.array([0, 1]), np.array([True]))
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            RegionMap().add("x", 0, 0)
+
+
+class TestOnRealTraces:
+    def test_conflict_collapse_at_513_analogue(self):
+        # The paper's CProf diagnosis, at the smallest exact geometry.
+        from repro.cachesim.machines import ATOM_EXPERIMENT, scale_machine
+        from repro.cachesim.trace import TraceCollector
+        from repro.cachesim.tracegen import modgemm_trace
+        from repro.layout.padding import TileRange, select_common_tiling
+
+        machine = scale_machine(ATOM_EXPERIMENT, 16)
+        results = {}
+        for n in (128, 129):
+            plan = select_common_tiling((n, n, n), TileRange(4, 16))
+            coll = TraceCollector()
+            modgemm_trace(plan, coll)
+            results[n] = classify_misses(coll.concatenate(), machine.levels[0])
+        # Conflict miss count drops sharply; compulsory barely moves.
+        assert results[129].conflict < 0.7 * results[128].conflict
+        assert results[129].compulsory < 1.5 * results[128].compulsory

@@ -1,0 +1,88 @@
+"""Unit tests for the multi-level hierarchy and duplicate collapsing."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.cache import CacheConfig, LRUCache
+from repro.cachesim.hierarchy import CacheHierarchy, make_cache
+from repro.cachesim.vectorized import DirectMappedCache
+
+
+class TestMakeCache:
+    def test_direct_mapped_uses_vectorised(self):
+        assert isinstance(make_cache(CacheConfig(1024, 32, 1)), DirectMappedCache)
+
+    def test_associative_uses_lru(self):
+        assert isinstance(make_cache(CacheConfig(3072, 32, 3)), LRUCache)
+
+
+class TestSingleLevel:
+    def test_matches_bare_simulator(self):
+        rng = np.random.default_rng(4)
+        addrs = rng.integers(0, 1 << 13, size=4000) * 8
+        h = CacheHierarchy([CacheConfig(1024, 32, 1)])
+        h.access(addrs)
+        bare = DirectMappedCache(CacheConfig(1024, 32, 1))
+        bare.access(addrs)
+        assert h.levels[0].stats.misses == bare.stats.misses
+        assert h.levels[0].stats.accesses == bare.stats.accesses
+
+    def test_duplicate_collapse_is_exact(self):
+        # A trace with heavy consecutive-duplicate blocks: the collapsed
+        # accesses are guaranteed hits, so miss counts must be identical
+        # and access counts must include the collapsed ones.
+        base = np.array([0, 0, 0, 32, 32, 64, 64, 64, 64], dtype=np.int64)
+        h = CacheHierarchy([CacheConfig(128, 32, 1)])
+        h.access(base)
+        assert h.levels[0].stats.accesses == 9
+        assert h.levels[0].stats.misses == 3
+
+
+class TestMultiLevel:
+    def test_l2_sees_only_l1_misses(self):
+        # L1: 2 sets of 32B (128B won't hold the working set);
+        # L2: large enough to hold everything.
+        h = CacheHierarchy(
+            [CacheConfig(64, 32, 1), CacheConfig(4096, 32, 1)]
+        )
+        addrs = np.tile(np.array([0, 64, 128, 192], dtype=np.int64), 50)
+        h.access(addrs)
+        l1, l2 = h.levels
+        assert l2.stats.accesses == l1.stats.misses
+        # After the first round everything lives in L2: only 4 cold misses.
+        assert l2.stats.misses == 4
+
+    def test_miss_ratio_helper(self):
+        h = CacheHierarchy([CacheConfig(64, 32, 1)])
+        h.access(np.array([0, 0, 0, 0], dtype=np.int64))
+        assert h.miss_ratio() == pytest.approx(0.25)
+
+    def test_misses_list(self):
+        h = CacheHierarchy([CacheConfig(64, 32, 1), CacheConfig(128, 32, 1)])
+        h.access(np.array([0, 64, 0, 64], dtype=np.int64))
+        assert len(h.misses()) == 2
+
+    def test_reset(self):
+        h = CacheHierarchy([CacheConfig(64, 32, 1)])
+        h.access(np.array([0], dtype=np.int64))
+        h.reset()
+        assert h.levels[0].stats.accesses == 0
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+    def test_empty_trace_noop(self):
+        h = CacheHierarchy([CacheConfig(64, 32, 1)])
+        h.access(np.array([], dtype=np.int64))
+        assert h.levels[0].stats.accesses == 0
+
+    def test_associative_l2_integration(self):
+        # Alpha-like shape: DM L1 + 3-way L2; just exercise the path.
+        h = CacheHierarchy(
+            [CacheConfig(256, 32, 1), CacheConfig(3 * 512, 32, 3)]
+        )
+        rng = np.random.default_rng(5)
+        h.access(rng.integers(0, 1 << 12, size=2000) * 8)
+        assert h.levels[1].stats.accesses == h.levels[0].stats.misses
+        assert h.levels[1].stats.misses <= h.levels[1].stats.accesses

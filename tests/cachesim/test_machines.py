@@ -1,0 +1,77 @@
+"""Unit tests for the machine models and geometry scaling."""
+
+import pytest
+
+from repro.cachesim.cache import CacheConfig
+from repro.cachesim.machines import (
+    ALPHA_MIATA,
+    ATOM_EXPERIMENT,
+    MACHINES,
+    SUN_ULTRA60,
+    Machine,
+    scale_machine,
+)
+
+
+class TestPaperGeometries:
+    def test_alpha_levels(self):
+        l1, l2, l3 = ALPHA_MIATA.levels
+        assert (l1.size_bytes, l1.block_bytes, l1.assoc) == (8 * 1024, 32, 1)
+        assert (l2.size_bytes, l2.assoc) == (96 * 1024, 3)
+        assert (l3.size_bytes, l3.assoc) == (2 * 1024 * 1024, 1)
+
+    def test_ultra_levels(self):
+        l1, l2 = SUN_ULTRA60.levels
+        assert (l1.size_bytes, l1.block_bytes) == (16 * 1024, 32)
+        assert l2.size_bytes == 2 * 1024 * 1024
+
+    def test_atom_is_paper_section42(self):
+        (l1,) = ATOM_EXPERIMENT.levels
+        assert (l1.size_bytes, l1.block_bytes, l1.assoc) == (16 * 1024, 32, 1)
+
+    def test_registry(self):
+        assert set(MACHINES) == {"alpha", "ultra", "atom"}
+
+    def test_penalties_per_level_enforced(self):
+        with pytest.raises(ValueError):
+            Machine("bad", (CacheConfig(1024, 32, 1),), 1e9, (1e-9, 2e-9))
+
+    def test_needs_levels(self):
+        with pytest.raises(ValueError):
+            Machine("bad", (), 1e9, ())
+
+
+class TestScaling:
+    def test_identity(self):
+        assert scale_machine(ATOM_EXPERIMENT, 1) is ATOM_EXPERIMENT
+
+    def test_capacity_scaled_blocks_kept(self):
+        m = scale_machine(ATOM_EXPERIMENT, 4)
+        assert m.levels[0].size_bytes == 4 * 1024
+        assert m.levels[0].block_bytes == 32
+
+    def test_blocks_scaled_on_request(self):
+        m = scale_machine(ATOM_EXPERIMENT, 4, scale_blocks=True)
+        assert m.levels[0].block_bytes == 8
+
+    def test_block_floor_is_one_double(self):
+        m = scale_machine(ATOM_EXPERIMENT, 16, scale_blocks=True)
+        assert m.levels[0].block_bytes == 8
+
+    def test_penalties_and_flops_untouched(self):
+        m = scale_machine(SUN_ULTRA60, 4)
+        assert m.peak_flops == SUN_ULTRA60.peak_flops
+        assert m.miss_penalties == SUN_ULTRA60.miss_penalties
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            scale_machine(ATOM_EXPERIMENT, 3)
+
+    def test_rejects_overscaling(self):
+        with pytest.raises(ValueError):
+            scale_machine(ATOM_EXPERIMENT, 1024)  # 16 B < one 32 B block
+
+    def test_alpha_scales_with_associativity(self):
+        m = scale_machine(ALPHA_MIATA, 4)
+        assert m.levels[1].assoc == 3
+        assert m.levels[1].size_bytes == 24 * 1024

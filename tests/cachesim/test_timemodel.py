@@ -1,0 +1,51 @@
+"""Unit tests for the linear timing model."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.cache import CacheConfig
+from repro.cachesim.machines import ATOM_EXPERIMENT, Machine
+from repro.cachesim.timemodel import ModelledRun, TimingModel
+
+
+def simple_machine(peak=1e9, penalty=100e-9):
+    return Machine(
+        "test", (CacheConfig(1024, 32, 1),), peak, (penalty,)
+    )
+
+
+class TestEvaluate:
+    def test_linear_formula(self):
+        model = TimingModel(simple_machine())
+        run = model.evaluate(flops=10**6, accesses=10**6, misses=[1000])
+        assert run.seconds == pytest.approx(10**6 / 1e9 + 1000 * 100e-9)
+
+    def test_mflops(self):
+        model = TimingModel(simple_machine())
+        run = model.evaluate(flops=10**6, accesses=1, misses=[0])
+        assert run.mflops == pytest.approx(1000.0)
+
+    def test_miss_ratio(self):
+        run = ModelledRun("m", 1, 100, (25,), 1.0)
+        assert run.l1_miss_ratio == 0.25
+
+    def test_wrong_level_count_rejected(self):
+        model = TimingModel(ATOM_EXPERIMENT)
+        with pytest.raises(ValueError):
+            model.evaluate(1, 1, [1, 2])
+
+    def test_more_misses_slower(self):
+        model = TimingModel(simple_machine())
+        fast = model.evaluate(10**6, 10**6, [100])
+        slow = model.evaluate(10**6, 10**6, [10**5])
+        assert slow.seconds > fast.seconds
+
+
+class TestRunTrace:
+    def test_integrates_with_hierarchy(self):
+        model = TimingModel(simple_machine())
+        h = model.hierarchy()
+        h.access(np.arange(0, 10**5, 8, dtype=np.int64))
+        run = model.run_trace(flops=10**4, accesses=12500, hierarchy=h)
+        assert run.misses[0] == h.levels[0].stats.misses
+        assert run.seconds > 0

@@ -1,0 +1,94 @@
+"""Unit tests for trace plumbing and the synthetic address space."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.trace import (
+    AddressSpace,
+    CountingSink,
+    TraceCollector,
+)
+
+
+class TestCollector:
+    def test_concatenates_in_order(self):
+        c = TraceCollector()
+        c.consume(np.array([1, 2]))
+        c.consume(np.array([3]))
+        assert list(c.concatenate()) == [1, 2, 3]
+        assert c.total == 3
+
+    def test_empty(self):
+        c = TraceCollector()
+        assert c.concatenate().size == 0
+
+    def test_ignores_empty_chunks(self):
+        c = TraceCollector()
+        c.consume(np.array([], dtype=np.int64))
+        assert c.chunks == []
+
+
+class TestCountingSink:
+    def test_counts(self):
+        s = CountingSink()
+        s.consume(np.zeros(5, dtype=np.int64))
+        s.consume(np.zeros((2, 3), dtype=np.int64))
+        assert s.total == 11
+
+
+class TestAddressSpace:
+    def test_alignment(self):
+        sp = AddressSpace(align=64)
+        for nbytes in (1, 63, 64, 100):
+            assert sp.alloc(nbytes) % 64 == 0
+
+    def test_live_allocations_disjoint(self):
+        sp = AddressSpace()
+        spans = []
+        for nbytes in (100, 200, 64, 1000):
+            base = sp.alloc(nbytes)
+            spans.append((base, base + nbytes))
+        spans.sort()
+        for (s0, e0), (s1, _) in zip(spans, spans[1:]):
+            assert e0 <= s1
+
+    def test_free_enables_reuse(self):
+        sp = AddressSpace()
+        a = sp.alloc(256)
+        sp.free(a)
+        b = sp.alloc(256)
+        assert b == a  # first-fit reuses the freed block
+
+    def test_free_coalesces(self):
+        sp = AddressSpace()
+        a = sp.alloc(64)
+        b = sp.alloc(64)
+        sp.free(a)
+        sp.free(b)
+        c = sp.alloc(128)  # only fits if neighbours coalesced
+        assert c == a
+
+    def test_double_free_rejected(self):
+        sp = AddressSpace()
+        a = sp.alloc(64)
+        sp.free(a)
+        with pytest.raises(KeyError):
+            sp.free(a)
+
+    def test_matrix_helper(self):
+        sp = AddressSpace()
+        base = sp.alloc_matrix(10, 10)
+        assert sp.live[base] >= 10 * 10 * 8
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace(align=48)
+
+    def test_smaller_request_splits_free_block(self):
+        sp = AddressSpace()
+        a = sp.alloc(256)
+        sp.alloc(64)  # guard so the heap top moves on
+        sp.free(a)
+        b = sp.alloc(64)
+        c = sp.alloc(64)
+        assert b == a and c == a + 64

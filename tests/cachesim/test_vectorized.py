@@ -1,0 +1,93 @@
+"""Unit tests for the vectorised direct-mapped simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.cache import CacheConfig, LRUCache
+from repro.cachesim.vectorized import DirectMappedCache
+
+
+def both(config, addrs, chunks=1):
+    dm = DirectMappedCache(config)
+    lru = LRUCache(config)
+    for part in np.array_split(np.asarray(addrs, dtype=np.int64), chunks):
+        if part.size:
+            dm.access(part)
+    lru.access(np.asarray(addrs, dtype=np.int64))
+    return dm, lru
+
+
+class TestAgainstLRUReference:
+    def test_random_trace(self):
+        rng = np.random.default_rng(9)
+        addrs = rng.integers(0, 1 << 14, size=5000) * 8
+        dm, lru = both(CacheConfig(1024, 32, 1), addrs)
+        assert dm.stats.misses == lru.stats.misses
+
+    @pytest.mark.parametrize("chunks", [1, 2, 7, 64])
+    def test_chunking_invariant(self, chunks):
+        rng = np.random.default_rng(10)
+        addrs = rng.integers(0, 1 << 13, size=3000) * 8
+        dm, lru = both(CacheConfig(512, 16, 1), addrs, chunks=chunks)
+        assert dm.stats.misses == lru.stats.misses
+        assert dm.stats.accesses == lru.stats.accesses
+
+    def test_small_handcrafted(self):
+        cfg = CacheConfig(128, 32, 1)  # 4 sets
+        dm = DirectMappedCache(cfg)
+        #      miss  miss  hit  miss(conflict 0^128) miss  hit
+        trace = [0, 32, 4, 128, 0, 33]
+        mask = dm.access(np.array(trace))
+        assert list(mask) == [True, True, False, True, True, False]
+
+
+class TestBehaviour:
+    def test_sequential_scan_miss_ratio(self):
+        # 8-byte elements, 32-byte blocks: exactly 1 miss per 4 accesses.
+        dm = DirectMappedCache(CacheConfig(8192, 32, 1))
+        dm.access(np.arange(40000, dtype=np.int64) * 8)
+        assert dm.stats.miss_ratio == pytest.approx(0.25)
+
+    def test_working_set_fits(self):
+        # Second pass over a cache-resident array: all hits.
+        dm = DirectMappedCache(CacheConfig(4096, 32, 1))
+        addrs = np.arange(0, 4096, 8, dtype=np.int64)
+        dm.access(addrs)
+        before = dm.stats.misses
+        dm.access(addrs)
+        assert dm.stats.misses == before
+
+    def test_cache_sized_stride_conflicts(self):
+        # Alternating addresses one cache-size apart: 100% misses.  This is
+        # the Section 4.2 quadrant-conflict pattern in miniature.
+        dm = DirectMappedCache(CacheConfig(1024, 32, 1))
+        a = np.tile(np.array([0, 1024], dtype=np.int64), 500)
+        dm.access(a)
+        assert dm.stats.miss_ratio == 1.0
+
+    def test_empty_chunk(self):
+        dm = DirectMappedCache(CacheConfig(1024, 32, 1))
+        out = dm.access(np.array([], dtype=np.int64))
+        assert out.size == 0
+        assert dm.stats.accesses == 0
+
+    def test_count_only(self):
+        dm = DirectMappedCache(CacheConfig(1024, 32, 1))
+        assert dm.access(np.array([0, 0, 2048]), return_mask=False) == 2
+
+    def test_reset(self):
+        dm = DirectMappedCache(CacheConfig(1024, 32, 1))
+        dm.access(np.array([0]))
+        dm.reset()
+        assert dm.stats.accesses == 0
+        assert dm.access(np.array([0])).all()
+
+    def test_rejects_associative_config(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(CacheConfig(1024, 32, 2))
+
+    def test_state_carries_across_chunks(self):
+        dm = DirectMappedCache(CacheConfig(128, 32, 1))
+        dm.access(np.array([0]))
+        mask = dm.access(np.array([0]))  # hit only if state carried
+        assert not mask.any()

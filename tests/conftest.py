@@ -1,0 +1,18 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def assert_gemm_close(result: np.ndarray, reference: np.ndarray, tol: float = 1e-9):
+    """Relative max-norm comparison with a Strassen-friendly tolerance."""
+    denom = max(1.0, float(np.max(np.abs(reference))))
+    err = float(np.max(np.abs(result - reference))) / denom
+    assert err < tol, f"relative error {err:.3e} exceeds {tol:.1e}"

@@ -1,0 +1,63 @@
+"""Unit tests for the numpy recursion backend."""
+
+import numpy as np
+import pytest
+
+from repro.core.ops import NumpyOps
+from repro.layout.matrix import MortonMatrix
+from repro.layout.padding import Tiling
+
+
+def leaf(rows, cols, value=0.0):
+    m = MortonMatrix.zeros(
+        rows, cols, Tiling(rows, rows, 0), Tiling(cols, cols, 0)
+    )
+    m.buf[:] = value
+    return m
+
+
+class TestVectorOps:
+    def test_add(self):
+        ops = NumpyOps()
+        x, y, d = leaf(4, 4, 2.0), leaf(4, 4, 3.0), leaf(4, 4)
+        ops.add(d, x, y)
+        assert np.all(d.buf == 5.0)
+
+    def test_sub_aliasing_destination(self):
+        ops = NumpyOps()
+        x, y = leaf(4, 4, 5.0), leaf(4, 4, 2.0)
+        ops.sub(x, x, y)  # x = x - y in place
+        assert np.all(x.buf == 3.0)
+
+    def test_iadd(self):
+        ops = NumpyOps()
+        x, d = leaf(4, 4, 2.0), leaf(4, 4, 1.0)
+        ops.iadd(d, x)
+        assert np.all(d.buf == 3.0)
+
+    def test_size_mismatch_rejected(self):
+        ops = NumpyOps()
+        with pytest.raises(ValueError):
+            ops.add(leaf(4, 4), leaf(4, 4), leaf(4, 5))
+        with pytest.raises(ValueError):
+            ops.iadd(leaf(4, 4), leaf(3, 3))
+
+
+class TestLeafMult:
+    def test_matches_numpy(self, rng):
+        a2 = rng.standard_normal((5, 7))
+        b2 = rng.standard_normal((7, 3))
+        a = MortonMatrix.from_dense(a2)
+        b = MortonMatrix.from_dense(b2)
+        c = leaf(5, 3)
+        NumpyOps().leaf_mult(a, b, c)
+        assert np.allclose(c.to_dense(), a2 @ b2)
+
+    def test_kernel_selection(self, rng):
+        a2 = rng.standard_normal((6, 6))
+        b2 = rng.standard_normal((6, 6))
+        a, b = MortonMatrix.from_dense(a2), MortonMatrix.from_dense(b2)
+        for kernel in ("numpy", "blocked", "naive"):
+            c = leaf(6, 6)
+            NumpyOps(kernel).leaf_mult(a, b, c)
+            assert np.allclose(c.to_dense(), a2 @ b2)

@@ -1,0 +1,79 @@
+"""Unit tests for the task-parallel Winograd multiply."""
+
+import numpy as np
+import pytest
+
+from repro.core.modgemm import modgemm_morton
+from repro.core.parallel import parallel_multiply
+from repro.core.truncation import TruncationPolicy
+from repro.layout.matrix import MortonMatrix
+from repro.layout.padding import select_common_tiling
+
+from ..conftest import assert_gemm_close
+
+
+def operands(m, k, n, rng, policy=None):
+    plan = (policy or TruncationPolicy.dynamic()).plan(m, k, n)
+    assert plan is not None
+    tm, tk, tn = plan
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    return (
+        a,
+        b,
+        MortonMatrix.from_dense(a, tilings=(tm, tk)),
+        MortonMatrix.from_dense(b, tilings=(tk, tn)),
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("dims", [(100, 100, 100), (150, 150, 150), (130, 200, 170)])
+    def test_matches_numpy(self, rng, dims):
+        a, b, a_mm, b_mm = operands(*dims, rng)
+        c = parallel_multiply(a_mm, b_mm)
+        assert_gemm_close(c.to_dense(), a @ b)
+
+    def test_matches_sequential_bit_for_bit_structure(self, rng):
+        # Same products, different combination order: results agree to
+        # roundoff (not bitwise — the U-chain associativity differs).
+        a, b, a_mm, b_mm = operands(150, 150, 150, rng)
+        par = parallel_multiply(a_mm, b_mm).to_dense()
+        seq = modgemm_morton(a_mm, b_mm).to_dense()
+        assert_gemm_close(par, seq, tol=1e-12)
+
+    def test_depth_zero_falls_back(self, rng):
+        a, b, a_mm, b_mm = operands(20, 20, 20, rng)
+        assert a_mm.depth == 0
+        c = parallel_multiply(a_mm, b_mm)
+        assert_gemm_close(c.to_dense(), a @ b)
+
+    def test_single_worker_path(self, rng):
+        a, b, a_mm, b_mm = operands(130, 130, 130, rng)
+        c = parallel_multiply(a_mm, b_mm, max_workers=1)
+        assert_gemm_close(c.to_dense(), a @ b)
+
+    def test_supplied_destination(self, rng):
+        a, b, a_mm, b_mm = operands(100, 100, 100, rng)
+        plan = TruncationPolicy.dynamic().plan(100, 100, 100)
+        c_mm = MortonMatrix.empty(100, 100, plan[0], plan[2])
+        out = parallel_multiply(a_mm, b_mm, c_mm)
+        assert out is c_mm
+        assert_gemm_close(c_mm.to_dense(), a @ b)
+
+    def test_operands_not_mutated(self, rng):
+        a, b, a_mm, b_mm = operands(150, 150, 150, rng)
+        a0, b0 = a_mm.buf.copy(), b_mm.buf.copy()
+        parallel_multiply(a_mm, b_mm)
+        assert np.array_equal(a_mm.buf, a0)
+        assert np.array_equal(b_mm.buf, b0)
+
+    def test_bad_workers_rejected(self, rng):
+        _, _, a_mm, b_mm = operands(100, 100, 100, rng)
+        with pytest.raises(ValueError):
+            parallel_multiply(a_mm, b_mm, max_workers=0)
+
+    def test_deterministic(self, rng):
+        _, _, a_mm, b_mm = operands(150, 150, 150, rng)
+        c1 = parallel_multiply(a_mm, b_mm).to_dense()
+        c2 = parallel_multiply(a_mm, b_mm).to_dense()
+        assert np.array_equal(c1, c2)

@@ -1,0 +1,97 @@
+"""Unit tests for the highly-rectangular decomposition (Section 3.5)."""
+
+import pytest
+
+from repro.core.rectangular import PanelProduct, Shape, classify, plan_panels, split_dim
+
+
+class TestClassify:
+    def test_wide(self):
+        assert classify(100, 500) is Shape.WIDE
+
+    def test_lean(self):
+        assert classify(500, 100) is Shape.LEAN
+
+    def test_well_behaved(self):
+        assert classify(100, 399) is Shape.WELL_BEHAVED
+        assert classify(100, 100) is Shape.WELL_BEHAVED
+
+    def test_boundary_is_well_behaved(self):
+        # ratio exactly max_ratio stays well-behaved (<= semantics)
+        assert classify(100, 400) is Shape.WELL_BEHAVED
+        assert classify(100, 401) is Shape.WIDE
+
+    def test_custom_ratio(self):
+        assert classify(10, 25, max_ratio=2.0) is Shape.WIDE
+
+
+class TestSplitDim:
+    def test_exact_partition(self):
+        spans = split_dim(100, 30)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 100
+        for (s0, e0), (s1, _) in zip(spans, spans[1:]):
+            assert e0 == s1
+
+    def test_near_equal_sizes(self):
+        spans = split_dim(1000, 256)
+        sizes = [e - s for s, e in spans]
+        assert max(sizes) - min(sizes) <= 1
+        assert len(spans) == 4
+
+    def test_dim_smaller_than_ref(self):
+        assert split_dim(10, 100) == [(0, 10)]
+
+    def test_sizes_bounded_by_ref(self):
+        for dim in (257, 999, 1024):
+            for ref in (16, 100, 256):
+                for s, e in split_dim(dim, ref):
+                    assert e - s <= ref
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            split_dim(0, 5)
+        with pytest.raises(ValueError):
+            split_dim(5, 0)
+
+
+class TestPlanPanels:
+    def test_paper_example_1024_256(self):
+        panels = plan_panels(1024, 256, 256)
+        # rows split into 4 chunks of 256; k and n stay whole.
+        assert len(panels) == 4
+        assert all(p.k0 == 0 and p.k1 == 256 for p in panels)
+        assert all(not p.accumulate for p in panels)
+
+    def test_k_chunks_accumulate(self):
+        panels = plan_panels(64, 1024, 64)
+        k_chunks = sorted({(p.k0, p.k1) for p in panels})
+        assert len(k_chunks) == 16
+        first = [p for p in panels if p.k0 == 0]
+        rest = [p for p in panels if p.k0 > 0]
+        assert all(not p.accumulate for p in first)
+        assert all(p.accumulate for p in rest)
+
+    def test_panels_tile_the_output(self):
+        m, k, n = 300, 40, 500
+        panels = plan_panels(m, k, n)
+        cells = set()
+        for p in panels:
+            if not p.accumulate:
+                cells.add((p.m0, p.m1, p.n0, p.n1))
+        covered = sum((m1 - m0) * (n1 - n0) for m0, m1, n0, n1 in cells)
+        assert covered == m * n
+
+    def test_every_panel_well_behaved(self):
+        for dims in [(2048, 256, 256), (100, 1, 100), (31, 900, 257)]:
+            ref = min(dims)
+            for p in plan_panels(*dims):
+                pm, pk, pn = p.m1 - p.m0, p.k1 - p.k0, p.n1 - p.n0
+                hi, lo = max(pm, pk, pn), min(pm, pk, pn)
+                # chunks are within [ref/2, ref] for dims >= ref
+                assert hi <= ref
+
+    def test_panel_product_is_frozen(self):
+        p = PanelProduct(0, 1, 0, 1, 0, 1, False)
+        with pytest.raises(AttributeError):
+            p.m0 = 5

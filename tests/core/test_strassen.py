@@ -1,0 +1,56 @@
+"""Unit tests for the original Strassen schedule (ablation variant)."""
+
+import numpy as np
+import pytest
+
+from repro.core.strassen import strassen_multiply
+from repro.core.winograd import winograd_multiply
+from repro.core.workspace import Workspace
+from repro.layout.matrix import MortonMatrix
+from repro.layout.padding import select_common_tiling
+
+from ..conftest import assert_gemm_close
+
+
+def operands(m, k, n, rng):
+    plan = select_common_tiling((m, k, n))
+    tm, tk, tn = plan
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    return (
+        a,
+        b,
+        MortonMatrix.from_dense(a, tilings=(tm, tk)),
+        MortonMatrix.from_dense(b, tilings=(tk, tn)),
+        MortonMatrix.empty(m, n, tm, tn),
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "dims", [(64, 64, 64), (100, 100, 100), (150, 150, 150), (130, 200, 170)]
+    )
+    def test_matches_numpy(self, rng, dims):
+        a, b, a_mm, b_mm, c_mm = operands(*dims, rng)
+        strassen_multiply(a_mm, b_mm, c_mm)
+        assert_gemm_close(c_mm.to_dense(), a @ b)
+
+    def test_agrees_with_winograd_variant(self, rng):
+        a, b, a_mm, b_mm, c_mm = operands(150, 150, 150, rng)
+        strassen_multiply(a_mm, b_mm, c_mm)
+        plan = select_common_tiling((150, 150, 150))
+        d_mm = MortonMatrix.empty(150, 150, plan[0], plan[2])
+        winograd_multiply(a_mm, b_mm, d_mm)
+        assert_gemm_close(c_mm.to_dense(), d_mm.to_dense(), tol=1e-11)
+
+    def test_requires_q_workspace(self, rng):
+        _, _, a_mm, b_mm, c_mm = operands(150, 150, 150, rng)
+        ws = Workspace(a_mm.depth, a_mm.tile_r, a_mm.tile_c, b_mm.tile_c, with_q=False)
+        with pytest.raises(ValueError):
+            strassen_multiply(a_mm, b_mm, c_mm, workspace=ws)
+
+    def test_operands_not_mutated(self, rng):
+        _, _, a_mm, b_mm, c_mm = operands(100, 100, 100, rng)
+        a0 = a_mm.buf.copy()
+        strassen_multiply(a_mm, b_mm, c_mm)
+        assert np.array_equal(a_mm.buf, a0)

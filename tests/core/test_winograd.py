@@ -1,0 +1,165 @@
+"""Unit tests for the Strassen-Winograd recursion on Morton operands."""
+
+import numpy as np
+import pytest
+
+from repro.core.ops import NumpyOps
+from repro.core.winograd import multiply_morton, winograd_multiply
+from repro.core.workspace import Workspace
+from repro.layout.matrix import MortonMatrix
+from repro.layout.padding import TileRange, select_common_tiling
+
+from ..conftest import assert_gemm_close
+
+
+def morton_operands(m, k, n, rng, tile_range=TileRange()):
+    plan = select_common_tiling((m, k, n), tile_range)
+    assert plan is not None
+    tm, tk, tn = plan
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    a_mm = MortonMatrix.from_dense(a, tilings=(tm, tk))
+    b_mm = MortonMatrix.from_dense(b, tilings=(tk, tn))
+    c_mm = MortonMatrix.empty(m, n, tm, tn)
+    return a, b, a_mm, b_mm, c_mm
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "dims",
+        [
+            (64, 64, 64),      # depth 1
+            (100, 100, 100),   # depth 1, odd tiles
+            (150, 150, 150),   # depth 2
+            (130, 200, 170),   # rectangular tiles, common depth
+            (513, 513, 513),   # the paper's example: tile 33, depth 4
+        ],
+    )
+    def test_matches_numpy(self, rng, dims):
+        m, k, n = dims
+        a, b, a_mm, b_mm, c_mm = morton_operands(m, k, n, rng)
+        winograd_multiply(a_mm, b_mm, c_mm)
+        assert_gemm_close(c_mm.to_dense(), a @ b)
+
+    def test_depth_zero_is_single_leaf(self, rng):
+        a, b, a_mm, b_mm, c_mm = morton_operands(20, 30, 25, rng)
+        assert a_mm.depth == 0
+        winograd_multiply(a_mm, b_mm, c_mm)
+        assert_gemm_close(c_mm.to_dense(), a @ b)
+
+    def test_pad_only_roundoff_residue(self, rng):
+        # The redundant arithmetic on the pad cancels exactly in real
+        # arithmetic; in floats a roundoff-scale residue remains (the
+        # Winograd intermediates, e.g. T1 = B12 - B11, are nonzero at pad
+        # positions even though the final product's pad is zero).  The
+        # residue must stay at noise level and never reach to_dense().
+        a, b, a_mm, b_mm, c_mm = morton_operands(150, 150, 150, rng)
+        assert a_mm.pad_is_zero() and b_mm.pad_is_zero()
+        winograd_multiply(a_mm, b_mm, c_mm)
+        dense = c_mm.to_dense()
+        pad_mass = float(np.sum(np.abs(c_mm.buf))) - float(np.sum(np.abs(dense)))
+        assert abs(pad_mass) < 1e-8 * float(np.sum(np.abs(dense)))
+
+    def test_multiply_morton_wrapper(self, rng):
+        a, b, a_mm, b_mm, _ = morton_operands(100, 100, 100, rng)
+        c_mm = multiply_morton(a_mm, b_mm)
+        assert_gemm_close(c_mm.to_dense(), a @ b)
+
+    def test_workspace_reuse_across_calls(self, rng):
+        a, b, a_mm, b_mm, c_mm = morton_operands(150, 150, 150, rng)
+        ws = Workspace(a_mm.depth, a_mm.tile_r, a_mm.tile_c, b_mm.tile_c, with_q=True)
+        winograd_multiply(a_mm, b_mm, c_mm, workspace=ws)
+        first = c_mm.to_dense()
+        winograd_multiply(a_mm, b_mm, c_mm, workspace=ws)
+        assert np.array_equal(c_mm.to_dense(), first)
+
+    def test_operands_not_mutated(self, rng):
+        a, b, a_mm, b_mm, c_mm = morton_operands(150, 150, 150, rng)
+        a0, b0 = a_mm.buf.copy(), b_mm.buf.copy()
+        winograd_multiply(a_mm, b_mm, c_mm)
+        assert np.array_equal(a_mm.buf, a0)
+        assert np.array_equal(b_mm.buf, b0)
+
+    def test_workspace_never_read_before_written(self, rng):
+        # Poison the scratch with NaN: if any schedule step read scratch
+        # before writing it, NaN would propagate into the product.  This
+        # pins the write-before-read discipline of the linearised schedule.
+        a, b, a_mm, b_mm, c_mm = morton_operands(150, 150, 150, rng)
+        ws = Workspace(a_mm.depth, a_mm.tile_r, a_mm.tile_c, b_mm.tile_c, with_q=True)
+        for lv in ws.levels:
+            for buf in (lv.s, lv.t, lv.p, lv.q):
+                buf.buf[:] = np.nan
+        winograd_multiply(a_mm, b_mm, c_mm, workspace=ws)
+        assert not np.any(np.isnan(c_mm.buf))
+        assert_gemm_close(c_mm.to_dense(), a @ b)
+
+    def test_destination_never_read_before_written(self, rng):
+        # Same poison discipline for the C buffer (beta=0 core semantics).
+        a, b, a_mm, b_mm, c_mm = morton_operands(150, 150, 150, rng)
+        c_mm.buf[:] = np.nan
+        winograd_multiply(a_mm, b_mm, c_mm)
+        assert not np.any(np.isnan(c_mm.buf))
+
+
+class TestValidation:
+    def test_depth_mismatch_rejected(self, rng):
+        _, _, a_mm, b_mm, c_mm = morton_operands(150, 150, 150, rng)
+        bad_b = MortonMatrix.from_dense(rng.standard_normal((152, 152)))
+        if bad_b.depth != a_mm.depth:
+            with pytest.raises(ValueError):
+                winograd_multiply(a_mm, bad_b, c_mm)
+
+    def test_inner_tile_mismatch_rejected(self, rng):
+        from repro.layout.padding import Tiling
+
+        a_mm = MortonMatrix.zeros(64, 64, Tiling(64, 32, 1), Tiling(64, 32, 1))
+        b_mm = MortonMatrix.zeros(66, 64, Tiling(66, 33, 1), Tiling(64, 32, 1))
+        c_mm = MortonMatrix.zeros(64, 64, Tiling(64, 32, 1), Tiling(64, 32, 1))
+        with pytest.raises(ValueError):
+            winograd_multiply(a_mm, b_mm, c_mm)
+
+    def test_workspace_without_q_rejected(self, rng):
+        _, _, a_mm, b_mm, c_mm = morton_operands(150, 150, 150, rng)
+        ws = Workspace(a_mm.depth, a_mm.tile_r, a_mm.tile_c, b_mm.tile_c, with_q=False)
+        with pytest.raises(ValueError):
+            winograd_multiply(a_mm, b_mm, c_mm, workspace=ws)
+
+
+class _CountingOps(NumpyOps):
+    """Arithmetic backend that also counts operations by kind."""
+
+    def __init__(self):
+        super().__init__("numpy")
+        self.adds = 0
+        self.leaf_mults = 0
+
+    def add(self, dst, x, y):
+        self.adds += 1
+        super().add(dst, x, y)
+
+    def sub(self, dst, x, y):
+        self.adds += 1
+        super().sub(dst, x, y)
+
+    def iadd(self, dst, x):
+        self.adds += 1
+        super().iadd(dst, x)
+
+    def leaf_mult(self, a, b, dst):
+        self.leaf_mults += 1
+        super().leaf_mult(a, b, dst)
+
+
+class TestSchedule:
+    def test_seven_products_fifteen_additions(self, rng):
+        # Per internal node: exactly 7 recursive products, 15 additions.
+        for dims in [(100, 100, 100), (150, 150, 150)]:
+            a, b, a_mm, b_mm, c_mm = morton_operands(*dims, rng)
+            depth = a_mm.depth
+            assert depth >= 1
+            ops = _CountingOps()
+            winograd_multiply(a_mm, b_mm, c_mm, ops=ops)
+            nodes = sum(7**l for l in range(depth))
+            assert ops.leaf_mults == 7**depth
+            assert ops.adds == 15 * nodes
+            assert_gemm_close(c_mm.to_dense(), a @ b)

@@ -1,0 +1,42 @@
+"""Unit tests for the recursion workspace."""
+
+import pytest
+
+from repro.core.workspace import Workspace
+
+
+class TestGeometry:
+    def test_level_count(self):
+        ws = Workspace(depth=3, tile_m=8, tile_k=8, tile_n=8)
+        assert len(ws.levels) == 3
+
+    def test_at_indexing(self):
+        ws = Workspace(depth=3, tile_m=8, tile_k=8, tile_n=8)
+        # Children of the top level have depth 2.
+        lv = ws.at(2)
+        assert lv.s.depth == 2
+        assert lv.s.padded_rows == 8 * 4
+        lv0 = ws.at(0)
+        assert lv0.s.depth == 0
+
+    def test_scratch_shapes_follow_operands(self):
+        ws = Workspace(depth=2, tile_m=3, tile_k=5, tile_n=7)
+        lv = ws.at(1)
+        assert (lv.s.tile_r, lv.s.tile_c) == (3, 5)  # A-shaped
+        assert (lv.t.tile_r, lv.t.tile_c) == (5, 7)  # B-shaped
+        assert (lv.p.tile_r, lv.p.tile_c) == (3, 7)  # C-shaped
+
+    def test_q_optional(self):
+        assert Workspace(2, 4, 4, 4, with_q=False).at(1).q is None
+        assert Workspace(2, 4, 4, 4, with_q=True).at(1).q is not None
+
+    def test_depth_zero_has_no_levels(self):
+        ws = Workspace(depth=0, tile_m=4, tile_k=4, tile_n=4)
+        assert ws.levels == []
+
+    def test_total_bytes_geometric(self):
+        ws = Workspace(depth=4, tile_m=8, tile_k=8, tile_n=8, with_q=True)
+        # 4 quarter buffers per level: total < 4/3 of a full matrix.
+        full = (8 << 4) * (8 << 4) * 8
+        assert ws.total_bytes < 4 * full // 3 + 1
+        assert ws.total_bytes > 0

@@ -1,0 +1,120 @@
+"""Tests for the extension experiments (paper future work)."""
+
+import pytest
+
+from repro.analysis.timing import TimingProtocol
+from repro.experiments import (
+    ext_conflict_aware,
+    ext_miss_classification,
+    ext_parameters,
+)
+
+FAST = TimingProtocol(small_threshold=0, small_reps=1, trials=1)
+
+
+class TestConflictAware:
+    def test_window_shape(self):
+        r = ext_conflict_aware.run(scale=4, sizes=[255, 256, 257])
+        rows = {row[1]: row for row in r.rows}
+        # Power-of-two regime: overpadded tile, lower misses, >1 flops.
+        n, _, t_std, t_aw, m_std, m_aw, fr = rows[256]
+        assert t_aw != t_std
+        assert m_aw < m_std
+        assert fr > 1.0
+        # Clean regime: identical choice, flop ratio 1.
+        assert rows[257][2] == rows[257][3]
+        assert rows[257][6] == pytest.approx(1.0)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            ext_conflict_aware.run(scale=3)
+
+
+class TestMissClassification:
+    def test_conflict_collapse(self):
+        r = ext_miss_classification.run(scale=16, sizes=[128, 129])
+        rows = {row[1]: row for row in r.rows}
+        conflict_before = rows[128][6]
+        conflict_after = rows[129][6]
+        assert conflict_after < 0.6 * conflict_before
+        # Decomposition sums to the total.
+        for row in r.rows:
+            assert row[3] == pytest.approx(row[4] + row[5] + row[6], rel=1e-9)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            ext_miss_classification.run(scale=2)
+
+
+class TestAttribution:
+    def test_quadrants_cool_down_at_clean_size(self):
+        from repro.experiments import ext_attribution
+
+        r = ext_attribution.run(scale=16)
+        by_key = {(row[0], row[2]): row[5] for row in r.rows}
+        sizes = sorted({row[0] for row in r.rows})
+        before, after = sizes[0], sizes[1]
+        # Aggregate C-quadrant miss rate drops at the conflict-free size.
+        c_before = sum(by_key[(before, f"C.{q}")] for q in ("NW", "NE", "SW", "SE"))
+        c_after = sum(by_key[(after, f"C.{q}")] for q in ("NW", "NE", "SW", "SE"))
+        assert c_after < 0.8 * c_before
+
+    def test_every_access_attributed(self):
+        from repro.experiments import ext_attribution
+
+        r = ext_attribution.run(scale=16)
+        # no '?' region: the RegionMap covers every traced structure
+        assert all(row[2] != "?" for row in r.rows)
+
+    def test_bad_scale(self):
+        from repro.experiments import ext_attribution
+
+        with pytest.raises(ValueError):
+            ext_attribution.run(scale=5)
+
+
+class TestAccuracyExperiment:
+    def test_errors_below_bound(self):
+        from repro.experiments import ext_accuracy
+
+        r = ext_accuracy.run(sizes=[64, 150], trials=1)
+        for row in r.rows:
+            n, *errors, bound = row
+            assert all(e <= bound for e in errors)
+
+    def test_error_grows_with_size(self):
+        from repro.experiments import ext_accuracy
+
+        r = ext_accuracy.run(sizes=[64, 513], trials=1)
+        assert r.rows[1][1] >= r.rows[0][1]
+
+
+class TestParameters:
+    def test_transposes_do_not_blow_up(self):
+        r = ext_parameters.run(sizes=[150], protocol=TimingProtocol(
+            small_threshold=1000, small_reps=3, trials=2))
+        ratios = {row[1]: row[7] for row in r.rows}
+        # Fused transposition: within noise of the plain product.
+        assert ratios["C=A'.B'"] < 2.0
+        # beta accumulation adds bounded overhead.
+        assert ratios["C=A.B+C"] < 2.5
+
+    def test_case_table_complete(self):
+        r = ext_parameters.run(sizes=[96], protocol=FAST)
+        assert len(r.rows) == len(ext_parameters.CASES)
+        assert r.rows[0][7] == pytest.approx(1.0)
+
+
+class TestCliIntegration:
+    def test_ext_conflict_cli(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["ext-conflict", "--scale", "16", "--no-chart"]) == 0
+        out = capsys.readouterr().out
+        assert "aware_miss_pct" in out
+
+    def test_ext_parameters_cli(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["ext-parameters", "--quick", "--sizes", "96", "--no-chart"]) == 0
+        assert "vs_plain" in capsys.readouterr().out

@@ -1,0 +1,49 @@
+"""Smoke tests: the example scripts must run as advertised.
+
+Only the fast examples run here (the benchmark-style ones — blas_drop_in,
+cache_study, tuning_explorer — take minutes by design and are exercised
+manually / by the experiment suite they delegate to; their importability
+and syntax are still checked).
+"""
+
+import ast
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent.parent / "examples"
+
+FAST = ["quickstart.py", "rectangular_matrices.py", "simulator_tour.py"]
+SLOW = ["blas_drop_in.py", "cache_study.py", "tuning_explorer.py"]
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they show"
+
+
+@pytest.mark.parametrize("name", FAST + SLOW)
+def test_example_parses_and_has_main_guard(name):
+    src = (EXAMPLES / name).read_text()
+    tree = ast.parse(src)
+    assert ast.get_docstring(tree), f"{name} needs a module docstring"
+    assert '__main__' in src, f"{name} needs a __main__ guard"
+
+
+def test_quickstart_mentions_paper_example():
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    ).stdout
+    assert "528" in out and "1024" in out  # the 513 padding story

@@ -1,0 +1,99 @@
+"""Unit tests for conflict-aware tile selection (realised future work)."""
+
+import pytest
+
+from repro.layout.padding import (
+    TileRange,
+    Tiling,
+    conflict_levels,
+    select_common_tiling,
+    select_tiling,
+)
+
+CACHE = 16 * 1024  # the Section 4.2 experiment geometry
+
+
+class TestConflictLevels:
+    def test_paper_regime_tile_32(self):
+        # tile 32, depth 4: leaf separation 2*32*32*8 = 16 KB = the cache.
+        t = Tiling(n=512, tile=32, depth=4)
+        assert conflict_levels(t, CACHE) == 4  # congruent at every level
+
+    def test_tile_33_is_clean(self):
+        t = Tiling(n=513, tile=33, depth=4)
+        assert conflict_levels(t, CACHE) == 0
+
+    def test_deeper_level_congruence_only(self):
+        # tile 16: leaf sep 4 KB (clean), level-1 sep 16 KB (congruent).
+        t = Tiling(n=512, tile=16, depth=5)
+        assert conflict_levels(t, CACHE) == 4  # levels 1..4
+
+    def test_depth_zero_has_no_conflicts(self):
+        assert conflict_levels(Tiling(n=64, tile=64, depth=0), CACHE) == 0
+
+    def test_rejects_bad_cache(self):
+        with pytest.raises(ValueError):
+            conflict_levels(Tiling(n=64, tile=32, depth=1), 0)
+
+
+class TestConflictAwareSelection:
+    def test_power_of_two_regime_overpads(self):
+        # 505..512 normally pad to 512/tile 32 (all-levels conflict); the
+        # aware policy pays 16 more elements for tile 33 / padded 528.
+        for n in range(505, 513):
+            t = select_tiling(n, cache_bytes=CACHE)
+            assert (t.tile, t.padded) == (33, 528)
+            assert conflict_levels(t, CACHE) == 0
+
+    def test_already_clean_sizes_unchanged(self):
+        for n in (513, 520, 150, 300):
+            std = select_tiling(n)
+            aware = select_tiling(n, cache_bytes=CACHE)
+            if conflict_levels(std, CACHE) == 0:
+                assert aware == std
+
+    def test_common_tiling_variant(self):
+        plan = select_common_tiling((512, 512, 512), cache_bytes=CACHE)
+        assert plan is not None
+        assert all(conflict_levels(t, CACHE) == 0 for t in plan)
+        assert plan[0].tile == 33
+
+    def test_scaled_geometry(self):
+        # The scale-4 analogue: cache 4 KB, range [8,32], sizes 250..256.
+        for n in (250, 256):
+            t = select_tiling(n, TileRange(8, 32), cache_bytes=4096)
+            assert conflict_levels(t, 4096) == 0
+            assert t.tile == 17
+
+    def test_without_cache_unchanged_behaviour(self):
+        # Regression: the default path must be identical to the original.
+        assert select_tiling(513).padded == 528
+        assert select_tiling(512).tile == 32
+
+
+class TestPolicyIntegration:
+    def test_policy_plan_uses_cache(self):
+        from repro.core.truncation import TruncationPolicy
+
+        p = TruncationPolicy.conflict_aware(CACHE)
+        plan = p.plan(512, 512, 512)
+        assert plan is not None
+        assert plan[0].tile == 33
+        assert "conflict-aware" in p.label
+
+    def test_policy_rejects_bad_cache(self):
+        from repro.core.truncation import TruncationPolicy
+
+        with pytest.raises(ValueError):
+            TruncationPolicy.conflict_aware(0)
+
+    def test_modgemm_with_conflict_aware_policy(self, rng):
+        import numpy as np
+
+        from repro.core.modgemm import modgemm
+        from repro.core.truncation import TruncationPolicy
+
+        a = rng.standard_normal((200, 200))
+        b = rng.standard_normal((200, 200))
+        out = modgemm(a, b, policy=TruncationPolicy.conflict_aware(CACHE))
+        assert np.allclose(out, a @ b)

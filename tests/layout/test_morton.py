@@ -1,0 +1,131 @@
+"""Unit tests for the Morton bit-interleaving arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.layout.morton import (
+    compact_bits,
+    deinterleave2,
+    element_offsets,
+    interleave2,
+    spread_bits,
+    zorder_coords,
+)
+
+
+class TestSpreadCompact:
+    def test_spread_small_values(self):
+        assert spread_bits(0) == 0
+        assert spread_bits(1) == 1
+        assert spread_bits(0b10) == 0b100
+        assert spread_bits(0b11) == 0b101
+        assert spread_bits(0b111) == 0b010101
+
+    def test_compact_inverts_spread_scalars(self):
+        for x in [0, 1, 5, 123, 1 << 15, (1 << 20) - 3]:
+            assert compact_bits(spread_bits(x)) == x
+
+    def test_spread_vectorised_matches_scalar(self):
+        xs = np.array([0, 1, 2, 3, 100, 65535], dtype=np.int64)
+        spread = spread_bits(xs)
+        assert list(spread) == [spread_bits(int(x)) for x in xs]
+
+    def test_compact_vectorised_roundtrip(self):
+        xs = np.arange(2048, dtype=np.int64)
+        assert np.array_equal(compact_bits(spread_bits(xs)), xs)
+
+    def test_spread_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spread_bits(-1)
+
+    def test_spread_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            spread_bits(1 << 31)
+
+
+class TestInterleave:
+    def test_quadrant_order_matches_paper_figure1(self):
+        # NW, NE, SW, SE = 0, 1, 2, 3 (row bit more significant).
+        assert interleave2(0, 0) == 0
+        assert interleave2(0, 1) == 1
+        assert interleave2(1, 0) == 2
+        assert interleave2(1, 1) == 3
+
+    def test_figure1_first_level_tiles(self):
+        # Figure 1's 4x4 top-left tile numbers.
+        expected = [[0, 1, 4, 5], [2, 3, 6, 7], [8, 9, 12, 13], [10, 11, 14, 15]]
+        for r in range(4):
+            for c in range(4):
+                assert interleave2(r, c) == expected[r][c]
+
+    def test_deinterleave_inverts(self):
+        for z in range(256):
+            r, c = deinterleave2(z)
+            assert interleave2(r, c) == z
+
+    def test_interleave_is_monotone_in_blocks(self):
+        # All tiles of the NW half-grid come before all of the SE half-grid.
+        assert interleave2(0, 1) < interleave2(1, 0) < interleave2(1, 1)
+        assert interleave2(1, 1) < interleave2(2, 0)
+
+    def test_vectorised_matches_scalar(self):
+        r = np.array([0, 1, 2, 3, 7], dtype=np.int64)
+        c = np.array([3, 2, 1, 0, 7], dtype=np.int64)
+        z = interleave2(r, c)
+        assert list(z) == [interleave2(int(a), int(b)) for a, b in zip(r, c)]
+
+
+class TestZorderCoords:
+    def test_depth_zero(self):
+        ti, tj = zorder_coords(0)
+        assert list(ti) == [0] and list(tj) == [0]
+
+    def test_depth_one_order(self):
+        ti, tj = zorder_coords(1)
+        assert list(zip(ti, tj)) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_is_permutation_of_grid(self):
+        ti, tj = zorder_coords(3)
+        pairs = set(zip(ti.tolist(), tj.tolist()))
+        assert pairs == {(r, c) for r in range(8) for c in range(8)}
+
+    def test_rejects_negative_depth(self):
+        with pytest.raises(ValueError):
+            zorder_coords(-1)
+
+
+class TestElementOffsets:
+    def test_is_bijection_on_padded_matrix(self):
+        tr, tc, depth = 3, 5, 2
+        rows, cols = tr << depth, tc << depth
+        i = np.repeat(np.arange(rows), cols)
+        j = np.tile(np.arange(cols), rows)
+        off = element_offsets(i, j, tr, tc, depth)
+        assert sorted(off.tolist()) == list(range(rows * cols))
+
+    def test_within_tile_column_major(self):
+        # Consecutive rows within a tile are adjacent in the buffer.
+        assert element_offsets(1, 0, 4, 4, 1) == element_offsets(0, 0, 4, 4, 1) + 1
+
+    def test_tile_stride(self):
+        # The NE tile (z=1) starts one tile after the NW tile.
+        tr, tc = 4, 6
+        assert element_offsets(0, tc, tr, tc, 1) == tr * tc
+
+    def test_scalar_returns_int(self):
+        off = element_offsets(0, 0, 2, 2, 1)
+        assert isinstance(off, int) and off == 0
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(IndexError):
+            element_offsets(8, 0, 4, 4, 1)
+        with pytest.raises(IndexError):
+            element_offsets(0, -1, 4, 4, 1)
+
+    def test_matches_naive_definition(self):
+        tr, tc, depth = 2, 3, 3
+        for i in (0, 1, 5, 15):
+            for j in (0, 2, 7, 23):
+                z = interleave2(i // tr, j // tc)
+                expected = z * tr * tc + (j % tc) * tr + (i % tr)
+                assert element_offsets(i, j, tr, tc, depth) == expected

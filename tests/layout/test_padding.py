@@ -1,0 +1,184 @@
+"""Unit tests for dynamic truncation-point selection (paper Section 3.4)."""
+
+import pytest
+
+from repro.layout.padding import (
+    TileRange,
+    Tiling,
+    feasible_depths,
+    min_padding_curve,
+    padded_size,
+    select_common_tiling,
+    select_tiling,
+)
+
+
+class TestTileRange:
+    def test_defaults_match_paper(self):
+        r = TileRange()
+        assert (r.min_tile, r.max_tile) == (16, 64)
+        assert r.span == 4.0
+
+    def test_rejects_narrow_range(self):
+        # A span below 2 leaves unreachable sizes between T*2^d ladders.
+        with pytest.raises(ValueError):
+            TileRange(20, 30)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            TileRange(0, 10)
+
+
+class TestTiling:
+    def test_padded_and_pad(self):
+        t = Tiling(n=513, tile=33, depth=4)
+        assert t.padded == 528
+        assert t.pad == 15
+
+    def test_rejects_too_small_capacity(self):
+        with pytest.raises(ValueError):
+            Tiling(n=100, tile=10, depth=3)  # 80 < 100
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Tiling(n=0, tile=1, depth=0)
+        with pytest.raises(ValueError):
+            Tiling(n=1, tile=1, depth=-1)
+
+
+class TestFeasibleDepths:
+    def test_small_matrix_single_leaf(self):
+        opts = feasible_depths(10)
+        assert Tiling(n=10, tile=10, depth=0) in opts
+
+    def test_all_candidates_valid(self):
+        for n in (17, 100, 513, 1024):
+            for t in feasible_depths(n):
+                assert t.padded >= n
+                if t.depth > 0:
+                    assert 16 <= t.tile <= 64
+                assert t.tile == -(-n // (1 << t.depth)) or t.depth == 0
+
+    def test_no_candidate_missed(self):
+        # Brute-force cross-check for one size.
+        n = 300
+        got = {(t.tile, t.depth) for t in feasible_depths(n)}
+        expected = set()
+        for d in range(0, 10):
+            t = -(-n // (1 << d))
+            if d == 0 and n <= 64:
+                expected.add((n, 0))
+            elif d > 0 and 16 <= t <= 64:
+                expected.add((t, d))
+        assert got == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            feasible_depths(0)
+
+
+class TestSelectTiling:
+    def test_paper_example_513(self):
+        t = select_tiling(513)
+        assert (t.tile, t.depth, t.padded) == (33, 4, 528)
+
+    def test_paper_505_to_512_truncate_at_32(self):
+        # Section 4.2: sizes 505..512 pad to 512 with tile size 32.
+        for n in range(505, 513):
+            t = select_tiling(n)
+            assert t.padded == 512
+            assert t.tile == 32
+
+    def test_1024_uses_tile_32_depth_5(self):
+        t = select_tiling(1024)
+        assert (t.tile, t.depth) == (32, 5)
+
+    def test_worst_case_pad_is_15_up_to_1024(self):
+        # The paper's "worst case amount" of 15 extra elements.
+        worst = max(select_tiling(n).pad for n in range(1, 1025))
+        assert worst == 15
+
+    def test_pad_never_negative(self):
+        for n in range(1, 1400, 7):
+            assert select_tiling(n).pad >= 0
+
+    def test_scaled_range_prefers_scaled_midpoint(self):
+        # At range [8,32] the 250..256 regime should use tile 16 (the
+        # scaled analogue of the paper's 505..512 -> 32 observation).
+        for n in range(250, 257):
+            t = select_tiling(n, TileRange(8, 32))
+            assert t.tile == 16
+
+    def test_small_sizes_are_single_leaves(self):
+        for n in (1, 5, 16, 40):
+            t = select_tiling(n)
+            assert t.depth == 0 and t.tile == n and t.pad == 0
+
+    def test_64_prefers_one_strassen_level(self):
+        # 64 = 32 * 2: zero padding either way; the tie-break picks the
+        # tile nearer the range midpoint, giving one recursion level.
+        t = select_tiling(64)
+        assert (t.tile, t.depth, t.pad) == (32, 1, 0)
+
+
+class TestPaddedSize:
+    def test_matches_select_tiling(self):
+        for n in (150, 513, 1000):
+            assert padded_size(n) == select_tiling(n).padded
+
+    def test_dynamic_padding_bounded(self):
+        # Figure 2's message: dynamic padding is O(1), independent of n.
+        for n in range(65, 1025):
+            assert padded_size(n) - n <= 15
+
+
+class TestSelectCommonTiling:
+    def test_square_matches_single_dim(self):
+        plan = select_common_tiling((513, 513, 513))
+        assert plan is not None
+        assert all(t.padded == 528 for t in plan)
+
+    def test_same_depth_different_tiles(self):
+        plan = select_common_tiling((150, 200, 170))
+        assert plan is not None
+        depths = {t.depth for t in plan}
+        assert len(depths) == 1
+        assert [t.n for t in plan] == [150, 200, 170]
+
+    def test_paper_rectangular_example_handled_jointly(self):
+        # The paper's 1024 x 256 example: choosing T=32 per dimension
+        # independently clashes (depths 5 vs 3), but the joint search finds
+        # the common depth 4 with tiles 64 and 16 — the full range makes
+        # ratio-4 cases feasible without panelling.
+        plan = select_common_tiling((1024, 256))
+        assert plan is not None
+        assert plan[0].depth == plan[1].depth == 4
+        assert (plan[0].tile, plan[1].tile) == (64, 16)
+
+    def test_extreme_rectangles_fail(self):
+        # Beyond the range's span no common depth can exist.
+        assert select_common_tiling((2048, 256)) is None
+        # Within (2, 4] rounding can also leave the depth intervals
+        # disjoint — this is why the panel splitter targets ratio <= 2.
+        assert select_common_tiling((100, 399)) is None
+
+    def test_ratio_two_always_succeeds(self):
+        for a in range(65, 700, 13):
+            for b in (a, 2 * a - 1, (a + 1) // 2):
+                assert select_common_tiling((a, b)) is not None, (a, b)
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(ValueError):
+            select_common_tiling(())
+
+    def test_all_small_dims_single_leaf(self):
+        plan = select_common_tiling((10, 20, 30))
+        assert plan is not None
+        assert all(t.depth == 0 for t in plan)
+
+
+class TestMinPaddingCurve:
+    def test_rows_structure(self):
+        rows = min_padding_curve([513, 514])
+        assert rows[0] == (513, 528, 33)
+        assert len(rows) == 2

@@ -1,0 +1,140 @@
+"""Property-based tests on the cache simulators."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cachesim.cache import CacheConfig, LRUCache
+from repro.cachesim.trace import AddressSpace
+from repro.cachesim.vectorized import DirectMappedCache
+from repro.core.rectangular import split_dim
+
+configs = st.sampled_from(
+    [
+        CacheConfig(256, 16, 1),
+        CacheConfig(1024, 32, 1),
+        CacheConfig(4096, 64, 1),
+    ]
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    config=configs,
+    seed=st.integers(0, 2**31 - 1),
+    length=st.integers(1, 3000),
+    chunks=st.integers(1, 10),
+    addr_space=st.integers(8, 18),
+)
+def test_vectorised_equals_lru_reference(config, seed, length, chunks, addr_space):
+    rng = np.random.default_rng(seed)
+    addrs = rng.integers(0, 1 << addr_space, size=length) * 8
+    dm = DirectMappedCache(config)
+    for part in np.array_split(addrs, min(chunks, length)):
+        if part.size:
+            dm.access(part)
+    lru = LRUCache(config)
+    mask = lru.access(addrs)
+    assert dm.stats.misses == lru.stats.misses
+    assert dm.stats.accesses == lru.stats.accesses
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    config=configs,
+    seed=st.integers(0, 2**31 - 1),
+    length=st.integers(1, 2000),
+)
+def test_miss_mask_consistent_with_count(config, seed, length):
+    rng = np.random.default_rng(seed)
+    addrs = rng.integers(0, 1 << 14, size=length) * 8
+    dm1 = DirectMappedCache(config)
+    mask = dm1.access(addrs, return_mask=True)
+    dm2 = DirectMappedCache(config)
+    count = dm2.access(addrs, return_mask=False)
+    assert int(np.count_nonzero(mask)) == count
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    length=st.integers(1, 1500),
+    assoc=st.sampled_from([2, 4]),
+)
+def test_higher_associativity_never_more_misses_same_sets(seed, length, assoc):
+    # With the number of SETS held fixed, adding ways can only absorb
+    # conflicts (LRU inclusion property per set).
+    rng = np.random.default_rng(seed)
+    addrs = rng.integers(0, 1 << 13, size=length) * 8
+    sets = 16
+    block = 32
+    direct = LRUCache(CacheConfig(sets * block, block, 1))
+    wide = LRUCache(CacheConfig(sets * block * assoc, block, assoc))
+    direct.access(addrs)
+    wide.access(addrs)
+    assert wide.stats.misses <= direct.stats.misses
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    ops=st.lists(st.integers(1, 5000), min_size=1, max_size=40),
+)
+def test_address_space_live_blocks_never_overlap(seed, ops):
+    rng = np.random.default_rng(seed)
+    sp = AddressSpace()
+    live = {}
+    for size in ops:
+        if live and rng.random() < 0.4:
+            victim = rng.choice(list(live))
+            sp.free(int(victim))
+            del live[int(victim)]
+        else:
+            base = sp.alloc(size)
+            live[base] = size
+        spans = sorted((b, b + s) for b, s in live.items())
+        for (s0, e0), (s1, _) in zip(spans, spans[1:]):
+            assert e0 <= s1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    config=configs,
+    seed=st.integers(0, 2**31 - 1),
+    length=st.integers(1, 2000),
+)
+def test_three_c_decomposition_sums_to_dm_misses(config, seed, length):
+    from repro.cachesim.classify import classify_misses
+
+    rng = np.random.default_rng(seed)
+    addrs = rng.integers(0, 1 << 14, size=length) * 8
+    mc = classify_misses(addrs, config)
+    dm = DirectMappedCache(config)
+    dm.access(addrs)
+    assert mc.misses == dm.stats.misses
+    assert mc.compulsory >= 0 and mc.capacity >= 0
+    assert mc.compulsory <= mc.misses or mc.conflict < 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), length=st.integers(1, 800),
+       cap=st.sampled_from([4, 16, 64]))
+def test_fast_fa_lru_matches_stack_distance_threshold(seed, length, cap):
+    from repro.cachesim.classify import _fully_associative_misses, stack_distances
+
+    rng = np.random.default_rng(seed)
+    blocks = rng.integers(0, 128, size=length)
+    comp, misses = _fully_associative_misses(blocks, cap)
+    dist = stack_distances(blocks)
+    assert comp == int(np.count_nonzero(dist < 0))
+    assert misses == int(np.count_nonzero((dist < 0) | (dist >= cap)))
+
+
+@given(dim=st.integers(1, 5000), ref=st.integers(1, 512))
+def test_split_dim_is_partition(dim, ref):
+    spans = split_dim(dim, ref)
+    assert spans[0][0] == 0 and spans[-1][1] == dim
+    for (s0, e0), (s1, _) in zip(spans, spans[1:]):
+        assert e0 == s1
+    sizes = [e - s for s, e in spans]
+    assert max(sizes) - min(sizes) <= 1
+    assert all(sz <= ref for sz in sizes)

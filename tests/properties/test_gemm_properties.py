@@ -1,0 +1,89 @@
+"""Property-based tests: every multiplication path vs the numpy oracle."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.dgefmm import peeled_multiply
+from repro.baselines.dgemmw import overlap_multiply
+from repro.core.modgemm import modgemm
+from repro.core.truncation import TruncationPolicy
+
+from ..conftest import assert_gemm_close
+
+dims = st.integers(min_value=1, max_value=160)
+small_dims = st.integers(min_value=1, max_value=96)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def operands(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, k)), rng.standard_normal((k, n))
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=dims, k=dims, n=dims, seed=seeds)
+def test_modgemm_matches_numpy(m, k, n, seed):
+    a, b = operands(m, k, n, seed)
+    assert_gemm_close(modgemm(a, b), a @ b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(m=small_dims, k=small_dims, n=small_dims, seed=seeds)
+def test_modgemm_small_range_policy(m, k, n, seed):
+    # A tighter tile range forces deeper recursion on small operands.
+    a, b = operands(m, k, n, seed)
+    out = modgemm(a, b, policy=TruncationPolicy.dynamic(4, 16))
+    assert_gemm_close(out, a @ b, tol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(m=dims, k=dims, n=dims, seed=seeds,
+       alpha=st.floats(-4, 4), beta=st.floats(-4, 4))
+def test_modgemm_alpha_beta(m, k, n, seed, alpha, beta):
+    a, b = operands(m, k, n, seed)
+    rng = np.random.default_rng(seed + 1)
+    c0 = rng.standard_normal((m, n))
+    c = c0.copy()
+    out = modgemm(a, b, c=c, alpha=alpha, beta=beta)
+    assert_gemm_close(out, alpha * (a @ b) + beta * c0, tol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(m=dims, k=dims, n=dims, seed=seeds,
+       ta=st.booleans(), tb=st.booleans())
+def test_modgemm_transposes(m, k, n, seed, ta, tb):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((k, m) if ta else (m, k))
+    b = rng.standard_normal((n, k) if tb else (k, n))
+    opa = a.T if ta else a
+    opb = b.T if tb else b
+    out = modgemm(a, b, op_a="t" if ta else "n", op_b="t" if tb else "n")
+    assert_gemm_close(out, opa @ opb)
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=dims, k=dims, n=dims, seed=seeds,
+       trunc=st.sampled_from([8, 16, 32, 64]))
+def test_dgefmm_matches_numpy(m, k, n, seed, trunc):
+    a, b = operands(m, k, n, seed)
+    assert_gemm_close(peeled_multiply(a, b, truncation=trunc), a @ b, tol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=dims, k=dims, n=dims, seed=seeds,
+       trunc=st.sampled_from([8, 16, 32, 64]))
+def test_dgemmw_matches_numpy(m, k, n, seed, trunc):
+    a, b = operands(m, k, n, seed)
+    assert_gemm_close(overlap_multiply(a, b, truncation=trunc), a @ b, tol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=small_dims, k=small_dims, n=small_dims, seed=seeds)
+def test_all_variants_agree(m, k, n, seed):
+    a, b = operands(m, k, n, seed)
+    mod = modgemm(a, b)
+    stra = modgemm(a, b, variant="strassen")
+    dge = peeled_multiply(a, b, truncation=16)
+    gw = overlap_multiply(a, b, truncation=16)
+    for other in (stra, dge, gw):
+        assert_gemm_close(mod, other, tol=1e-8)
