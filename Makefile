@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures quick-figures clean
+.PHONY: install test lint bench figures quick-figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,87 @@
+"""Engine bench: plan-cached sessions vs per-call planning.
+
+Demonstrates the point of :class:`repro.GemmSession` for serving-style
+workloads: repeated multiplies of one geometry skip tiling search, Morton
+buffer allocation, and workspace construction after the first call.  The
+cold baseline compiles a fresh plan per call (a new session each time,
+which is exactly what every one-shot ``modgemm`` call did before plans
+were cached).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine import GemmSession
+
+from conftest import emit
+
+N = 480
+ROUNDS = 8
+
+
+def _timed(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_session_warm_calls(benchmark, square_operands):
+    """Steady-state: every call after the first is a plan-cache hit."""
+    a, b = square_operands(N)
+    session = GemmSession()
+    session.multiply(a, b)  # compile once, outside the timed region
+    benchmark.pedantic(lambda: session.multiply(a, b), rounds=ROUNDS, iterations=1)
+    stats = session.stats()
+    assert stats.plan_misses == 1
+    assert stats.plan_hits >= ROUNDS
+
+
+def test_per_call_planning(benchmark, square_operands):
+    """Baseline: a fresh session per call pays the full compile cost."""
+    a, b = square_operands(N)
+    benchmark.pedantic(
+        lambda: GemmSession().multiply(a, b), rounds=ROUNDS, iterations=1
+    )
+
+
+def test_warm_session_beats_cold_planning(square_operands):
+    """Acceptance: cached plans win, and hits allocate no new Morton buffers."""
+    a, b = square_operands(N)
+
+    session = GemmSession()
+    session.multiply(a, b)
+    allocated_after_compile = session.stats().buffers_allocated
+    warm = _timed(lambda: session.multiply(a, b), ROUNDS)
+
+    cold = _timed(lambda: GemmSession().multiply(a, b), ROUNDS)
+
+    stats = session.stats()
+    assert stats.buffers_allocated == allocated_after_compile, (
+        "cache-hit executions must reuse pooled Morton buffers"
+    )
+    assert stats.buffers_reused >= ROUNDS
+    assert warm < cold, (
+        f"warm session ({warm * 1e3:.2f} ms) should beat per-call planning "
+        f"({cold * 1e3:.2f} ms)"
+    )
+    emit(
+        "Engine: warm session vs per-call planning",
+        f"n={N}  warm={warm * 1e3:.2f} ms  cold={cold * 1e3:.2f} ms  "
+        f"speedup={cold / warm:.2f}x  "
+        f"(hits={stats.plan_hits}, buffers_reused={stats.buffers_reused})",
+    )
+
+
+def test_multiply_many_batched(benchmark, square_operands):
+    """Batched dispatch over a mixed-geometry worklist."""
+    a1, b1 = square_operands(N)
+    a2, b2 = square_operands(N // 2)
+    items = [(a1, b1), (a2, b2)] * 3
+    session = GemmSession()
+    session.multiply_many(items)  # compile both plans up front
+    benchmark.pedantic(lambda: session.multiply_many(items), rounds=3, iterations=1)
+    assert session.stats().plan_misses == 2

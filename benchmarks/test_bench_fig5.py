@@ -33,7 +33,7 @@ def test_modgemm_headline_size(benchmark, square_operands):
 def test_dgefmm_headline_size(benchmark, square_operands):
     a, b = square_operands(N)
     benchmark.pedantic(
-        lambda: dgefmm(a, b, truncation=HOST_DGEFMM_TRUNCATION),
+        lambda: dgefmm(a, b, policy=HOST_DGEFMM_TRUNCATION),
         rounds=5,
         iterations=1,
     )
@@ -42,7 +42,7 @@ def test_dgefmm_headline_size(benchmark, square_operands):
 def test_dgemmw_headline_size(benchmark, square_operands):
     a, b = square_operands(N)
     benchmark.pedantic(
-        lambda: dgemmw(a, b, truncation=HOST_DGEMMW_TRUNCATION),
+        lambda: dgemmw(a, b, policy=HOST_DGEMMW_TRUNCATION),
         rounds=5,
         iterations=1,
     )

@@ -49,8 +49,8 @@ def demo_head_to_head(n: int = 700) -> None:
 
     host_policy = TruncationPolicy.dynamic(64, 256)
     t_mod = best_of(lambda: modgemm(a, b, policy=host_policy))
-    t_dge = best_of(lambda: dgefmm(a, b, truncation=128))
-    t_gw = best_of(lambda: dgemmw(a, b, truncation=128))
+    t_dge = best_of(lambda: dgefmm(a, b, policy=128))
+    t_gw = best_of(lambda: dgemmw(a, b, policy=128))
     t_np = best_of(lambda: a @ b)
     print(f"\nhead-to-head at n={n} (best of 3):")
     print(f"  modgemm : {t_mod * 1e3:8.1f} ms   ({t_mod / t_dge:5.2f} x dgefmm)")

@@ -70,7 +70,7 @@ def main() -> None:
         print(f"\n{name} truncation sweep at n={n}:")
         results = []
         for trunc in (32, 64, 96, 128, 192, 256):
-            t = best_of(lambda: fn(a, b, truncation=trunc))
+            t = best_of(lambda: fn(a, b, policy=trunc))
             results.append((trunc, t))
             print(f"  {trunc:4d} : {t * 1e3:8.1f} ms")
         best_trunc, _ = min(results, key=lambda x: x[1])

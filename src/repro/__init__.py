@@ -21,11 +21,21 @@ Package map (see DESIGN.md for the full architecture):
   overlap), and conventional kernels.
 * :mod:`repro.cachesim` — trace-driven cache simulation of the paper's
   platforms (the ATOM substitute).
+* :mod:`repro.engine` — the plan-caching GEMM execution engine:
+  :class:`GemmSession` memoises compiled plans (tilings, pooled Morton
+  buffers, workspaces, resolved kernels) across repeated multiplies.
 * :mod:`repro.analysis` — timing protocol, operation counts, accuracy.
 * :mod:`repro.experiments` — one runner per paper figure
   (``python -m repro.experiments all``).
+
+Sessions are the serving-workload API::
+
+    session = repro.GemmSession()
+    c = session.multiply(a, b)          # plans once per geometry
+    cs = session.multiply_many([(a1, b1), (a2, b2)])
 """
 
+from .errors import ReproError, ShapeError, PlanError, KernelError
 from .blas.dgemm import GemmProblem, OpKind, dgemm_reference
 from .core.modgemm import modgemm, modgemm_morton, PhaseTimings
 from .core.truncation import TruncationPolicy
@@ -33,8 +43,15 @@ from .layout.matrix import MortonMatrix
 from .layout.padding import TileRange, Tiling, select_tiling, select_common_tiling
 from .baselines.dgefmm import dgefmm
 from .baselines.dgemmw import dgemmw
+from .engine import (
+    CompiledPlan,
+    GemmSession,
+    SessionStats,
+    default_session,
+    reset_default_session,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "modgemm",
@@ -51,5 +68,14 @@ __all__ = [
     "dgemm_reference",
     "dgefmm",
     "dgemmw",
+    "GemmSession",
+    "CompiledPlan",
+    "SessionStats",
+    "default_session",
+    "reset_default_session",
+    "ReproError",
+    "ShapeError",
+    "PlanError",
+    "KernelError",
     "__version__",
 ]

@@ -28,6 +28,8 @@ import numpy as np
 
 from ..blas.dgemm import GemmProblem, OpKind
 from ..blas.kernels import LeafKernel, get_kernel
+from ..core.truncation import TruncationPolicy
+from .params import resolve_baseline_truncation
 
 __all__ = ["dgefmm", "peeled_multiply", "DEFAULT_TRUNCATION"]
 
@@ -44,12 +46,24 @@ def dgefmm(
     beta: float = 0.0,
     op_a: "OpKind | str" = "n",
     op_b: "OpKind | str" = "n",
-    truncation: int = DEFAULT_TRUNCATION,
+    policy: "TruncationPolicy | int | str | None" = None,
     kernel: "str | LeafKernel" = "numpy",
+    truncation: int | None = None,
 ) -> np.ndarray:
-    """BLAS-style dgemm via dynamic-peeling Strassen-Winograd."""
+    """BLAS-style dgemm via dynamic-peeling Strassen-Winograd.
+
+    ``policy`` accepts the same forms as :func:`repro.modgemm` (a
+    :class:`TruncationPolicy`, an int truncation point, or
+    ``"dynamic"``/``"fixed"``); it maps to this scheme's single recursion
+    crossover via :meth:`TruncationPolicy.truncation_point` (default 64,
+    the paper's Section 4 value).  The historical ``truncation=`` int
+    spelling still works but raises a :class:`DeprecationWarning`.
+    """
+    point = resolve_baseline_truncation(
+        "dgefmm", policy, truncation, DEFAULT_TRUNCATION
+    )
     p = GemmProblem.create(a, b, op_a=op_a, op_b=op_b, alpha=alpha, beta=beta, c=c)
-    d = peeled_multiply(p.op_a_view, p.op_b_view, truncation, get_kernel(kernel))
+    d = peeled_multiply(p.op_a_view, p.op_b_view, point, get_kernel(kernel))
     result = p.apply_scaling(d, c)
     if c is not None and result is not c:
         c[...] = result

@@ -25,6 +25,8 @@ import numpy as np
 
 from ..blas.dgemm import GemmProblem, OpKind
 from ..blas.kernels import LeafKernel, get_kernel
+from ..core.truncation import TruncationPolicy
+from .params import resolve_baseline_truncation
 
 __all__ = ["dgemmw", "overlap_multiply", "DEFAULT_TRUNCATION"]
 
@@ -41,12 +43,22 @@ def dgemmw(
     beta: float = 0.0,
     op_a: "OpKind | str" = "n",
     op_b: "OpKind | str" = "n",
-    truncation: int = DEFAULT_TRUNCATION,
+    policy: "TruncationPolicy | int | str | None" = None,
     kernel: "str | LeafKernel" = "numpy",
+    truncation: int | None = None,
 ) -> np.ndarray:
-    """BLAS-style dgemm via dynamic-overlap Strassen-Winograd."""
+    """BLAS-style dgemm via dynamic-overlap Strassen-Winograd.
+
+    ``policy`` accepts the same forms as :func:`repro.modgemm`; it maps to
+    this scheme's single recursion crossover (default 64).  The historical
+    ``truncation=`` int spelling still works but raises a
+    :class:`DeprecationWarning`.
+    """
+    point = resolve_baseline_truncation(
+        "dgemmw", policy, truncation, DEFAULT_TRUNCATION
+    )
     p = GemmProblem.create(a, b, op_a=op_a, op_b=op_b, alpha=alpha, beta=beta, c=c)
-    d = overlap_multiply(p.op_a_view, p.op_b_view, truncation, get_kernel(kernel))
+    d = overlap_multiply(p.op_a_view, p.op_b_view, point, get_kernel(kernel))
     result = p.apply_scaling(d, c)
     if c is not None and result is not c:
         c[...] = result

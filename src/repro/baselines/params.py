@@ -1,0 +1,53 @@
+"""Shared argument normalisation for the baseline entry points.
+
+The API consistency pass gives :func:`repro.dgefmm` and
+:func:`repro.dgemmw` the same ``policy`` parameter forms as
+:func:`repro.modgemm` (a :class:`TruncationPolicy`, an int truncation
+point, or a ``"dynamic"``/``"fixed"`` string).  The baselines have no
+per-dimension tile search, so a policy collapses to its scalar recursion
+crossover via :meth:`TruncationPolicy.truncation_point`.
+
+The historical ``truncation=<int>`` spelling keeps working through a
+deprecation shim that warns once per call site.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from ..core.truncation import TruncationPolicy
+from ..errors import PlanError
+
+__all__ = ["resolve_baseline_truncation"]
+
+
+def resolve_baseline_truncation(
+    name: str,
+    policy: "TruncationPolicy | int | str | None",
+    truncation: int | None,
+    default: int,
+) -> int:
+    """Resolve the recursion crossover from the new and deprecated spellings.
+
+    ``policy`` wins when given; a non-None ``truncation`` emits a
+    :class:`DeprecationWarning` (passing both is a :class:`PlanError`).
+    Returns the scalar truncation point the recursion should stop below.
+    """
+    if truncation is not None:
+        if policy is not None:
+            raise PlanError(
+                f"{name}() got both policy= and deprecated truncation=; "
+                "pass only policy"
+            )
+        warnings.warn(
+            f"{name}(truncation=...) is deprecated; use policy=<int> or "
+            "policy=TruncationPolicy.fixed(...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if truncation < 1:
+            raise PlanError(f"truncation must be >= 1, got {truncation}")
+        return int(truncation)
+    if policy is None:
+        return default
+    return TruncationPolicy.coerce(policy).truncation_point()

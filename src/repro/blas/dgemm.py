@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ShapeError
+
 __all__ = ["OpKind", "GemmProblem", "dgemm_reference"]
 
 
@@ -67,7 +69,7 @@ class GemmProblem:
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
         if a.ndim != 2 or b.ndim != 2:
-            raise ValueError(
+            raise ShapeError(
                 f"dgemm operands must be 2-D, got ndims {a.ndim} and {b.ndim}"
             )
         op_a = OpKind.parse(op_a)
@@ -75,11 +77,11 @@ class GemmProblem:
         m, k = a.shape if op_a is OpKind.NOTRANS else a.shape[::-1]
         kb, n = b.shape if op_b is OpKind.NOTRANS else b.shape[::-1]
         if k != kb:
-            raise ValueError(
+            raise ShapeError(
                 f"inner dimensions disagree: op(A) is {m}x{k}, op(B) is {kb}x{n}"
             )
         if c is not None and c.shape != (m, n):
-            raise ValueError(f"C has shape {c.shape}, expected {(m, n)}")
+            raise ShapeError(f"C has shape {c.shape}, expected {(m, n)}")
         if beta != 0.0 and c is None:
             raise ValueError("beta != 0 requires an existing C operand")
         return cls(

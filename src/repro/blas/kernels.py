@@ -27,6 +27,8 @@ from typing import Callable, Protocol
 
 import numpy as np
 
+from ..errors import KernelError
+
 __all__ = [
     "LeafKernel",
     "leaf_matmul",
@@ -127,7 +129,7 @@ def get_kernel(kernel: "str | LeafKernel") -> LeafKernel:
         return kernel
     try:
         return KERNELS[kernel]
-    except KeyError:
-        raise ValueError(
+    except (KeyError, TypeError):
+        raise KernelError(
             f"unknown kernel {kernel!r}; available: {sorted(KERNELS)}"
         ) from None

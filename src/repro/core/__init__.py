@@ -9,7 +9,7 @@ from .modgemm import modgemm, modgemm_morton, PhaseTimings
 from .truncation import TruncationPolicy, DEFAULT_POLICY
 from .winograd import winograd_multiply, multiply_morton
 from .strassen import strassen_multiply
-from .parallel import parallel_multiply
+from .parallel import parallel_multiply, ParallelScratch
 from .rectangular import Shape, classify, plan_panels, split_dim, PanelProduct
 from .workspace import Workspace
 from .ops import NumpyOps, WinogradOps
@@ -24,6 +24,7 @@ __all__ = [
     "multiply_morton",
     "strassen_multiply",
     "parallel_multiply",
+    "ParallelScratch",
     "Shape",
     "classify",
     "plan_panels",

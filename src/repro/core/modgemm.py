@@ -15,31 +15,28 @@ Section 3.5:
 4. convert the product back and post-process ``alpha``/``beta`` only when
    they differ from the common values 1 and 0.
 
+Since the :mod:`repro.engine` redesign both entry points are thin wrappers
+over the module-level plan-caching :class:`repro.engine.GemmSession`:
+repeated same-geometry calls skip steps 1's search and all buffer
+allocation while remaining bit-identical to the historical per-call path.
+
 :func:`modgemm_morton` is the conversion-free variant used for Figure 8
 ("assuming matrices are already in Morton order").
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..blas.dgemm import GemmProblem, OpKind
+from ..blas.dgemm import OpKind
 from ..blas.kernels import LeafKernel
 from ..layout.matrix import MortonMatrix
-from ..layout.padding import Tiling
-from .ops import NumpyOps
-from .rectangular import plan_panels
-from .strassen import strassen_multiply
-from .truncation import DEFAULT_POLICY, TruncationPolicy
-from .winograd import winograd_multiply
+from .truncation import TruncationPolicy
 from .workspace import Workspace
 
 __all__ = ["modgemm", "modgemm_morton", "PhaseTimings"]
-
-_VARIANTS = {"winograd": winograd_multiply, "strassen": strassen_multiply}
 
 
 @dataclass
@@ -78,7 +75,7 @@ def modgemm(
     beta: float = 0.0,
     op_a: "OpKind | str" = "n",
     op_b: "OpKind | str" = "n",
-    policy: TruncationPolicy = DEFAULT_POLICY,
+    policy: "TruncationPolicy | int | str | None" = None,
     kernel: "str | LeafKernel" = "numpy",
     variant: str = "winograd",
     timings: PhaseTimings | None = None,
@@ -88,121 +85,26 @@ def modgemm(
 
     Parameters mirror BLAS dgemm.  ``c`` is updated in place (and returned)
     when given; otherwise a fresh array is returned and ``beta`` must be 0.
-    ``variant`` selects the Winograd (default) or original Strassen
-    schedule; ``kernel`` the leaf multiply; ``timings``, when supplied, is
+    ``policy`` selects truncation (a :class:`TruncationPolicy`, an int
+    static truncation point, or ``"dynamic"``/``"fixed"``); ``variant`` the
+    Winograd (default) or original Strassen schedule — by name or by
+    function; ``kernel`` the leaf multiply; ``timings``, when supplied, is
     filled with the conversion/compute phase breakdown.  ``parallel`` runs
     the seven top-level Winograd products on a thread pool (see
-    :mod:`repro.core.parallel`; useful on multi-core hosts only).
+    :mod:`repro.core.parallel`; useful on multi-core hosts only) and is
+    rejected with a :class:`repro.errors.PlanError` for other variants.
+
+    Calls are served by the module-level plan-caching session
+    (:func:`repro.engine.default_session`): one-shot behaviour is
+    unchanged, repeated same-geometry calls reuse the compiled plan.
     """
-    if variant not in _VARIANTS:
-        raise ValueError(f"unknown variant {variant!r}; expected {sorted(_VARIANTS)}")
-    if parallel and variant != "winograd":
-        raise ValueError("parallel execution supports only the winograd variant")
-    if parallel:
-        variant = "parallel"
-    p = GemmProblem.create(a, b, op_a=op_a, op_b=op_b, alpha=alpha, beta=beta, c=c)
-    d = _product(p, policy, kernel, variant, timings)
-    result = p.apply_scaling(d, c)
-    if c is not None and result is not c:
-        c[...] = result
-        return c
-    return result
+    from ..engine.session import default_session
 
-
-def _product(
-    p: GemmProblem,
-    policy: TruncationPolicy,
-    kernel: "str | LeafKernel",
-    variant: str,
-    timings: PhaseTimings | None,
-) -> np.ndarray:
-    """``D = op(A) . op(B)`` (the alpha/beta-free core of Section 3.5)."""
-    plan = policy.plan(p.m, p.k, p.n)
-    if plan is not None:
-        return _well_behaved_product(
-            p.a, p.b, p.op_a, p.op_b, plan, kernel, variant, timings
-        )
-
-    # Highly rectangular: no common recursion depth exists.  Reconstruct
-    # from well-behaved panel products (Figure 4).
-    opa = p.op_a_view
-    opb = p.op_b_view
-    d = np.zeros((p.m, p.n), dtype=np.float64, order="F")
-    panels = plan_panels(p.m, p.k, p.n, policy.tile_range) if policy.tile_range \
-        else plan_panels(p.m, p.k, p.n)
-    if timings is not None:
-        timings.panels = len(panels)
-    for panel in panels:
-        pa = opa[panel.m0 : panel.m1, panel.k0 : panel.k1]
-        pb = opb[panel.k0 : panel.k1, panel.n0 : panel.n1]
-        sub_plan = policy.plan(*_panel_dims(panel))
-        if sub_plan is None:
-            # Degenerate residue (e.g. a 1-wide strip): conventional product.
-            part = pa @ pb
-        else:
-            part = _well_behaved_product(
-                pa, pb, OpKind.NOTRANS, OpKind.NOTRANS, sub_plan,
-                kernel, variant, timings,
-            )
-        if panel.accumulate:
-            d[panel.m0 : panel.m1, panel.n0 : panel.n1] += part
-        else:
-            d[panel.m0 : panel.m1, panel.n0 : panel.n1] = part
-    return d
-
-
-def _panel_dims(panel) -> tuple[int, int, int]:
-    return (panel.m1 - panel.m0, panel.k1 - panel.k0, panel.n1 - panel.n0)
-
-
-def _well_behaved_product(
-    a: np.ndarray,
-    b: np.ndarray,
-    op_a: OpKind,
-    op_b: OpKind,
-    plan: tuple[Tiling, Tiling, Tiling],
-    kernel: "str | LeafKernel",
-    variant: str,
-    timings: PhaseTimings | None,
-) -> np.ndarray:
-    tm, tk, tn = plan
-    t0 = time.perf_counter()
-    a_mm = MortonMatrix.from_dense(
-        a, transpose=(op_a is OpKind.TRANS), tilings=(tm, tk)
+    return default_session().multiply(
+        a, b, c=c, alpha=alpha, beta=beta, op_a=op_a, op_b=op_b,
+        policy=policy, kernel=kernel, variant=variant,
+        parallel=parallel, timings=timings,
     )
-    b_mm = MortonMatrix.from_dense(
-        b, transpose=(op_b is OpKind.TRANS), tilings=(tk, tn)
-    )
-    c_mm = MortonMatrix.empty(tm.n, tn.n, tm, tn)
-    t1 = time.perf_counter()
-    _multiply_variant(a_mm, b_mm, c_mm, kernel, variant)
-    t2 = time.perf_counter()
-    d = c_mm.to_dense()
-    t3 = time.perf_counter()
-    if timings is not None:
-        timings.to_morton += t1 - t0
-        timings.compute += t2 - t1
-        timings.from_morton += t3 - t2
-    return d
-
-
-def _multiply_variant(
-    a_mm: MortonMatrix,
-    b_mm: MortonMatrix,
-    c_mm: MortonMatrix,
-    kernel: "str | LeafKernel",
-    variant: str,
-) -> None:
-    if variant == "parallel":
-        from .parallel import parallel_multiply
-
-        parallel_multiply(a_mm, b_mm, c_mm, kernel=kernel)
-        return
-    ops = NumpyOps(kernel)
-    if variant == "winograd":
-        winograd_multiply(a_mm, b_mm, c_mm, ops=ops)
-    else:
-        strassen_multiply(a_mm, b_mm, c_mm, ops=ops)
 
 
 def modgemm_morton(
@@ -218,24 +120,11 @@ def modgemm_morton(
     Operands must share the recursion depth and have conformable tile
     edges — i.e. they were created from a single
     :meth:`TruncationPolicy.plan`.  Returns the Morton-ordered product.
+    When ``workspace`` is omitted the default session pools one per
+    geometry (an explicit workspace bypasses the pool, as before).
     """
-    if c_mm is None:
-        c_mm = MortonMatrix(
-            buf=np.empty(
-                (a_mm.tile_r << a_mm.depth) * (b_mm.tile_c << b_mm.depth),
-                dtype=np.float64,
-            ),
-            rows=a_mm.rows,
-            cols=b_mm.cols,
-            tile_r=a_mm.tile_r,
-            tile_c=b_mm.tile_c,
-            depth=a_mm.depth,
-        )
-    ops = NumpyOps(kernel)
-    if variant == "winograd":
-        winograd_multiply(a_mm, b_mm, c_mm, ops=ops, workspace=workspace)
-    elif variant == "strassen":
-        strassen_multiply(a_mm, b_mm, c_mm, ops=ops, workspace=workspace)
-    else:
-        raise ValueError(f"unknown variant {variant!r}")
-    return c_mm
+    from ..engine.session import default_session
+
+    return default_session().multiply_morton(
+        a_mm, b_mm, c_mm, kernel=kernel, variant=variant, workspace=workspace
+    )

@@ -33,7 +33,7 @@ from .ops import NumpyOps
 from .winograd import _check_conformable, winograd_multiply
 from .workspace import Workspace
 
-__all__ = ["parallel_multiply"]
+__all__ = ["parallel_multiply", "ParallelScratch"]
 
 
 def _scratch(rows_tile: int, cols_tile: int, depth: int) -> MortonMatrix:
@@ -48,17 +48,63 @@ def _scratch(rows_tile: int, cols_tile: int, depth: int) -> MortonMatrix:
     )
 
 
+class ParallelScratch:
+    """Reusable scratch for :func:`parallel_multiply` at one geometry.
+
+    Holds the 4 + 4 operand-sum quarters, the 7 product quarters, and one
+    :class:`Workspace` per product thread — everything the thread-pool
+    schedule would otherwise allocate per call.  A scratch is bound to the
+    top-level operand geometry ``(tile_m, tile_k, tile_n, depth)``; the
+    engine pools one per compiled plan so repeated same-geometry multiplies
+    allocate nothing.
+    """
+
+    def __init__(self, tile_m: int, tile_k: int, tile_n: int, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"ParallelScratch needs depth >= 1, got {depth}")
+        d = depth - 1
+        self.depth = depth
+        self.s = [_scratch(tile_m, tile_k, d) for _ in range(4)]
+        self.t = [_scratch(tile_k, tile_n, d) for _ in range(4)]
+        self.p = [_scratch(tile_m, tile_n, d) for _ in range(7)]
+        self.workspaces = (
+            [Workspace(d, tile_m, tile_k, tile_n, with_q=True) for _ in range(7)]
+            if d > 0 else [None] * 7
+        )
+
+    def matches(self, a: MortonMatrix, b: MortonMatrix) -> bool:
+        """True when this scratch serves the given operand pair."""
+        s, t = self.s[0], self.t[0]
+        return (
+            a.depth == self.depth
+            and s.tile_r == a.tile_r and s.tile_c == a.tile_c
+            and t.tile_r == b.tile_r and t.tile_c == b.tile_c
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes held across all pooled quarters and workspaces."""
+        total = sum(m.buf.nbytes for m in self.s + self.t + self.p)
+        for ws in self.workspaces:
+            if ws is not None:
+                total += ws.total_bytes
+        return total
+
+
 def parallel_multiply(
     a: MortonMatrix,
     b: MortonMatrix,
     c: MortonMatrix | None = None,
     kernel: "str | LeafKernel" = "numpy",
     max_workers: int = 7,
+    scratch: ParallelScratch | None = None,
 ) -> MortonMatrix:
     """``C = A . B`` with the 7 top-level products on a thread pool.
 
     Falls back to the sequential recursion for depth-0 operands.  Returns
-    the (possibly freshly allocated) Morton product.
+    the (possibly freshly allocated) Morton product.  ``scratch`` supplies
+    pooled intermediate buffers (see :class:`ParallelScratch`); when absent
+    a fresh set is allocated, matching the historical behaviour.
     """
     if c is None:
         c = _scratch(a.tile_r, b.tile_c, a.depth)
@@ -70,20 +116,18 @@ def parallel_multiply(
     if a.depth == 0:
         ops.leaf_mult(a, b, c)
         return c
+    if scratch is None:
+        scratch = ParallelScratch(a.tile_r, a.tile_c, b.tile_c, a.depth)
+    elif not scratch.matches(a, b):
+        raise ValueError("scratch geometry does not match the operands")
 
     a11, a12, a21, a22 = a.quadrants()
     b11, b12, b21, b22 = b.quadrants()
     c11, c12, c21, c22 = c.quadrants()
     d = a11.depth
 
-    s1 = _scratch(a.tile_r, a.tile_c, d)
-    s2 = _scratch(a.tile_r, a.tile_c, d)
-    s3 = _scratch(a.tile_r, a.tile_c, d)
-    s4 = _scratch(a.tile_r, a.tile_c, d)
-    t1 = _scratch(b.tile_r, b.tile_c, d)
-    t2 = _scratch(b.tile_r, b.tile_c, d)
-    t3 = _scratch(b.tile_r, b.tile_c, d)
-    t4 = _scratch(b.tile_r, b.tile_c, d)
+    s1, s2, s3, s4 = scratch.s
+    t1, t2, t3, t4 = scratch.t
     ops.add(s1, a21, a22)
     ops.sub(s2, s1, a11)
     ops.sub(s3, a11, a21)
@@ -102,11 +146,13 @@ def parallel_multiply(
         (s4, b22),   # P6
         (a22, t4),   # P7
     ]
-    results = [_scratch(a.tile_r, b.tile_c, d) for _ in products]
+    results = scratch.p
 
     def run(i: int) -> None:
         x, y = products[i]
-        ws = Workspace(d, x.tile_r, x.tile_c, y.tile_c, with_q=True)
+        ws = scratch.workspaces[i]
+        if ws is None and d > 0:
+            ws = Workspace(d, x.tile_r, x.tile_c, y.tile_c, with_q=True)
         winograd_multiply(x, y, results[i], ops=NumpyOps(kernel), workspace=ws)
 
     if max_workers == 1:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..errors import PlanError
 from ..layout.padding import TileRange, Tiling, select_common_tiling
 
 __all__ = ["TruncationPolicy", "DEFAULT_POLICY"]
@@ -58,7 +59,7 @@ class TruncationPolicy:
         of the machine the multiply will run on.
         """
         if cache_bytes < 1:
-            raise ValueError(f"cache_bytes must be >= 1, got {cache_bytes}")
+            raise PlanError(f"cache_bytes must be >= 1, got {cache_bytes}")
         return cls(
             tile_range=TileRange(min_tile, max_tile),
             fixed_tile=None,
@@ -68,9 +69,62 @@ class TruncationPolicy:
 
     @classmethod
     def fixed(cls, tile: int = 32) -> "TruncationPolicy":
+        """Static truncation point ``tile`` (Figure 2's fixed line)."""
         if tile < 1:
-            raise ValueError(f"fixed tile must be >= 1, got {tile}")
+            raise PlanError(f"fixed tile must be >= 1, got {tile}")
         return cls(tile_range=None, fixed_tile=tile, label=f"fixed[{tile}]")
+
+    @classmethod
+    def coerce(cls, value: "TruncationPolicy | int | str | None") -> "TruncationPolicy":
+        """Normalise the policy argument forms every entry point accepts.
+
+        * ``None`` — the package default (dynamic 16..64);
+        * a :class:`TruncationPolicy` — passed through;
+        * an ``int`` — a static truncation point, i.e. ``fixed(value)``
+          (the spelling the baselines historically used);
+        * a ``str`` — ``"dynamic"``, ``"fixed"``, or a parameterised form
+          ``"dynamic:16,64"`` / ``"fixed:48"``.
+        """
+        if value is None:
+            return DEFAULT_POLICY
+        if isinstance(value, TruncationPolicy):
+            return value
+        if isinstance(value, bool):
+            raise PlanError(f"cannot interpret {value!r} as a truncation policy")
+        if isinstance(value, int):
+            return cls.fixed(value)
+        if isinstance(value, str):
+            name, _, params = value.partition(":")
+            name = name.strip().lower()
+            try:
+                if name == "dynamic":
+                    if not params:
+                        return cls.dynamic()
+                    lo, hi = (int(p) for p in params.split(","))
+                    return cls.dynamic(lo, hi)
+                if name == "fixed":
+                    return cls.fixed(int(params)) if params else cls.fixed()
+            except (TypeError, ValueError) as exc:
+                if isinstance(exc, PlanError):
+                    raise
+                raise PlanError(f"malformed policy string {value!r}") from None
+        raise PlanError(
+            f"cannot interpret {value!r} as a truncation policy; expected a "
+            "TruncationPolicy, an int truncation point, or 'dynamic'/'fixed'"
+        )
+
+    def truncation_point(self) -> int:
+        """The scalar recursion crossover this policy implies.
+
+        The baselines (DGEFMM/DGEMMW) have no per-dimension tile search —
+        they stop recursing below a single crossover.  A fixed policy maps
+        to its tile; a dynamic policy to the top of its tile range (64 for
+        the paper's 16..64, matching the baselines' published value).
+        """
+        if self.fixed_tile is not None:
+            return self.fixed_tile
+        assert self.tile_range is not None
+        return self.tile_range.max_tile
 
     def plan(self, m: int, k: int, n: int) -> tuple[Tiling, Tiling, Tiling] | None:
         """Common tiling for all three GEMM dimensions, or None (split needed).
@@ -84,6 +138,8 @@ class TruncationPolicy:
         larger than T in every dimension is a single conventional leaf).
         Never None — static padding always "works", just expensively.
         """
+        if min(m, k, n) < 1:
+            raise PlanError(f"GEMM dimensions must be >= 1, got {(m, k, n)}")
         if self.tile_range is not None:
             return select_common_tiling(
                 (m, k, n), self.tile_range, cache_bytes=self.cache_bytes

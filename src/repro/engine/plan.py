@@ -1,0 +1,311 @@
+"""Compiled GEMM plans: frozen geometry decisions plus pooled buffers.
+
+A :class:`CompiledPlan` captures everything :func:`repro.modgemm` used to
+recompute per call for a fixed problem geometry:
+
+* the ``(Tiling, Tiling, Tiling)`` from :meth:`TruncationPolicy.plan`
+  (or, for highly rectangular problems, the Figure-4 panel decomposition
+  and one sub-plan per panel geometry);
+* the Morton-order operand and product buffers, allocated once with their
+  pads zeroed once — repeated conversions then touch only logical
+  elements (``dense_to_morton(..., zero_pad=False)``);
+* the per-level :class:`Workspace` (or :class:`ParallelScratch` for the
+  thread-pool schedule) shared across executions;
+* the resolved leaf kernel and recursion variant.
+
+``plan.execute(a, b, ...)`` then runs the full BLAS contract against the
+frozen geometry, allocating only the dense output.  Plans serialise their
+own executions with an internal lock, so one plan shared by many threads
+(e.g. via :meth:`GemmSession.multiply_many`) never corrupts its pooled
+buffers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..blas.dgemm import GemmProblem, OpKind
+from ..blas.kernels import LeafKernel
+from ..core.modgemm import PhaseTimings
+from ..core.ops import NumpyOps
+from ..core.parallel import ParallelScratch, parallel_multiply
+from ..core.rectangular import plan_panels
+from ..core.strassen import strassen_multiply
+from ..core.truncation import TruncationPolicy
+from ..core.winograd import winograd_multiply
+from ..core.workspace import Workspace
+from ..errors import KernelError, PlanError, ShapeError
+from ..layout.convert import dense_to_morton
+from ..layout.matrix import MortonMatrix
+from ..layout.padding import Tiling
+
+__all__ = ["PlanKey", "CompiledPlan", "resolve_variant", "VARIANTS"]
+
+#: Canonical recursion-variant names and their multiply entry points.
+VARIANTS = {"winograd": winograd_multiply, "strassen": strassen_multiply}
+
+
+def resolve_variant(variant) -> str:
+    """Normalise a recursion-variant argument to its canonical name.
+
+    Accepts the canonical strings (``"winograd"``, ``"strassen"``,
+    case-insensitive) or the multiply functions themselves
+    (:func:`winograd_multiply` / :func:`strassen_multiply`), mirroring the
+    string-or-object convention of ``kernel`` and ``op_a``/``op_b``.
+    """
+    if isinstance(variant, str):
+        name = variant.lower()
+        if name in VARIANTS:
+            return name
+    else:
+        for name, fn in VARIANTS.items():
+            if variant is fn:
+                return name
+    raise KernelError(
+        f"unknown variant {variant!r}; expected {sorted(VARIANTS)}"
+    )
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """The memoisation key of one compiled plan.
+
+    Two multiplies share a plan exactly when every field matches: the
+    logical GEMM dimensions, both transposition flags, the truncation
+    policy, the resolved leaf kernel (by identity — named kernels resolve
+    to module-level functions, so equal names compare equal), the
+    recursion variant, and whether the seven top-level products run on the
+    thread pool.  ``alpha``/``beta`` are deliberately absent: scaling is
+    post-processing and shares buffers freely.
+    """
+
+    m: int
+    k: int
+    n: int
+    op_a: OpKind
+    op_b: OpKind
+    policy: TruncationPolicy
+    kernel: LeafKernel
+    variant: str
+    parallel: bool
+
+
+class CompiledPlan:
+    """A ready-to-execute GEMM for one frozen problem geometry.
+
+    Created by :meth:`GemmSession.plan`; execute with
+    :meth:`execute` (full dgemm semantics) as many times as desired.
+    """
+
+    def __init__(self, key: PlanKey, session) -> None:
+        self.key = key
+        self.session = session
+        self._lock = threading.Lock()
+        self._cache_hit = False  # updated by the session on each lookup
+        self._ops = NumpyOps(key.kernel)
+        #: np.float64 buffers allocated while compiling (operands, product,
+        #: workspace levels, parallel scratch) — constant afterwards.
+        self.buffers_allocated = 0
+        self.tilings: tuple[Tiling, Tiling, Tiling] | None = key.policy.plan(
+            key.m, key.k, key.n
+        )
+        self._a_mm = self._b_mm = self._c_mm = None
+        self._workspace: Workspace | None = None
+        self._pscratch: ParallelScratch | None = None
+        self._panels = None
+        self._panel_plans = None
+        if self.tilings is not None:
+            self._compile_well_behaved()
+        else:
+            self._compile_panels()
+
+    # ------------------------------------------------------------- compile
+
+    def _compile_well_behaved(self) -> None:
+        tm, tk, tn = self.tilings
+        key = self.key
+        # Operand pads are zeroed here, once; every later conversion uses
+        # zero_pad=False and writes only the logical region.
+        self._a_mm = MortonMatrix.zeros(key.m, key.k, tm, tk)
+        self._b_mm = MortonMatrix.zeros(key.k, key.n, tk, tn)
+        self._c_mm = MortonMatrix.empty(key.m, key.n, tm, tn)
+        self.buffers_allocated += 3
+        depth = tm.depth
+        if key.parallel and depth > 0:
+            self._pscratch = ParallelScratch(tm.tile, tk.tile, tn.tile, depth)
+            self.buffers_allocated += 15 + (4 * 7 * (depth - 1))
+        else:
+            self._workspace = Workspace(
+                depth, tm.tile, tk.tile, tn.tile, with_q=True
+            )
+            self.buffers_allocated += 4 * depth
+
+    def _compile_panels(self) -> None:
+        key = self.key
+        policy = key.policy
+        self._panels = plan_panels(key.m, key.k, key.n, policy.tile_range) \
+            if policy.tile_range else plan_panels(key.m, key.k, key.n)
+        # One sub-plan per panel geometry, shared through the session's
+        # cache (panels of equal size — the common case — compile once).
+        self._panel_plans = []
+        for panel in self._panels:
+            dims = (panel.m1 - panel.m0, panel.k1 - panel.k0, panel.n1 - panel.n0)
+            if policy.plan(*dims) is None:
+                # Degenerate residue (e.g. a 1-wide strip): conventional
+                # product, nothing to pool.
+                self._panel_plans.append(None)
+            else:
+                self._panel_plans.append(
+                    self.session.plan(
+                        *dims,
+                        op_a=OpKind.NOTRANS,
+                        op_b=OpKind.NOTRANS,
+                        policy=policy,
+                        kernel=key.kernel,
+                        variant=key.variant,
+                        parallel=key.parallel,
+                    )
+                )
+
+    # ------------------------------------------------------------- execute
+
+    def execute(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        timings: PhaseTimings | None = None,
+    ) -> np.ndarray:
+        """``C <- alpha * op(A) . op(B) + beta * C`` with this plan's geometry.
+
+        The transposition ops are the plan's; operand shapes must produce
+        exactly the planned ``(m, k, n)`` (:class:`ShapeError` otherwise).
+        """
+        p = GemmProblem.create(
+            a, b, op_a=self.key.op_a, op_b=self.key.op_b,
+            alpha=alpha, beta=beta, c=c,
+        )
+        return self.execute_problem(p, c=c, timings=timings)
+
+    def execute_problem(
+        self,
+        p: GemmProblem,
+        c: np.ndarray | None = None,
+        timings: PhaseTimings | None = None,
+    ) -> np.ndarray:
+        """Run a pre-validated :class:`GemmProblem` through the plan."""
+        key = self.key
+        if (p.m, p.k, p.n) != (key.m, key.k, key.n):
+            raise ShapeError(
+                f"operands give GEMM dims {(p.m, p.k, p.n)}, but this plan "
+                f"is compiled for {(key.m, key.k, key.n)}"
+            )
+        if (p.op_a, p.op_b) != (key.op_a, key.op_b):
+            raise PlanError(
+                f"ops {(p.op_a.value, p.op_b.value)} do not match the plan's "
+                f"{(key.op_a.value, key.op_b.value)}"
+            )
+        rec = PhaseTimings()
+        if self.tilings is not None:
+            d = self._well_behaved_product(
+                p.a, p.b,
+                transpose_a=(p.op_a is OpKind.TRANS),
+                transpose_b=(p.op_b is OpKind.TRANS),
+                rec=rec,
+            )
+        else:
+            d = self._panelled_product(p, rec)
+            rec.panels = len(self._panels)
+        if timings is not None:
+            timings.to_morton += rec.to_morton
+            timings.compute += rec.compute
+            timings.from_morton += rec.from_morton
+            if self.tilings is None:
+                timings.panels = rec.panels
+        self.session._record_execution(self, rec)
+        result = p.apply_scaling(d, c)
+        if c is not None and result is not c:
+            c[...] = result
+            return c
+        return result
+
+    def _well_behaved_product(
+        self, a, b, transpose_a: bool, transpose_b: bool, rec: PhaseTimings
+    ) -> np.ndarray:
+        key = self.key
+        with self._lock:
+            t0 = time.perf_counter()
+            dense_to_morton(a, self._a_mm, transpose=transpose_a, zero_pad=False)
+            dense_to_morton(b, self._b_mm, transpose=transpose_b, zero_pad=False)
+            t1 = time.perf_counter()
+            if key.parallel and self._pscratch is not None:
+                parallel_multiply(
+                    self._a_mm, self._b_mm, self._c_mm,
+                    kernel=key.kernel, scratch=self._pscratch,
+                )
+            elif key.variant == "winograd":
+                winograd_multiply(
+                    self._a_mm, self._b_mm, self._c_mm,
+                    ops=self._ops, workspace=self._workspace,
+                )
+            else:
+                strassen_multiply(
+                    self._a_mm, self._b_mm, self._c_mm,
+                    ops=self._ops, workspace=self._workspace,
+                )
+            t2 = time.perf_counter()
+            d = self._c_mm.to_dense()
+            t3 = time.perf_counter()
+        rec.to_morton += t1 - t0
+        rec.compute += t2 - t1
+        rec.from_morton += t3 - t2
+        return d
+
+    def _panelled_product(self, p: GemmProblem, rec: PhaseTimings) -> np.ndarray:
+        opa = p.op_a_view
+        opb = p.op_b_view
+        d = np.zeros((p.m, p.n), dtype=np.float64, order="F")
+        for panel, sub in zip(self._panels, self._panel_plans):
+            pa = opa[panel.m0 : panel.m1, panel.k0 : panel.k1]
+            pb = opb[panel.k0 : panel.k1, panel.n0 : panel.n1]
+            if sub is None:
+                part = pa @ pb
+            else:
+                part = sub._well_behaved_product(
+                    pa, pb, transpose_a=False, transpose_b=False, rec=rec
+                )
+            if panel.accumulate:
+                d[panel.m0 : panel.m1, panel.n0 : panel.n1] += part
+            else:
+                d[panel.m0 : panel.m1, panel.n0 : panel.n1] = part
+        return d
+
+    # ----------------------------------------------------------- accounting
+
+    @property
+    def pooled_bytes(self) -> int:
+        """Bytes held by this plan's pooled buffers and workspaces."""
+        total = 0
+        for mm in (self._a_mm, self._b_mm, self._c_mm):
+            if mm is not None:
+                total += mm.buf.nbytes
+        if self._workspace is not None:
+            total += self._workspace.total_bytes
+        if self._pscratch is not None:
+            total += self._pscratch.total_bytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        key = self.key
+        shape = "panelled" if self.tilings is None else "well-behaved"
+        return (
+            f"CompiledPlan({key.m}x{key.k}x{key.n}, "
+            f"op=({key.op_a.value},{key.op_b.value}), {key.variant}"
+            f"{', parallel' if key.parallel else ''}, {shape})"
+        )

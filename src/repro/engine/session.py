@@ -1,0 +1,371 @@
+"""Plan-caching GEMM sessions: amortise planning across repeated calls.
+
+A :class:`GemmSession` memoises :class:`CompiledPlan` objects keyed on the
+full problem geometry ``(m, k, n, op_a, op_b, policy, kernel, variant,
+parallel)``.  The first multiply of a geometry pays for truncation-point
+selection and buffer allocation; every later one reuses the frozen plan —
+the amortisation that serving workloads (many same-shape multiplies) need.
+
+The cache is a bounded LRU so long-lived sessions cannot leak: when more
+than ``capacity`` geometries are live, the least recently used plan (and
+its pooled buffers) is dropped.  A parallel pool of :class:`Workspace`
+objects serves :meth:`multiply_morton` (operands already in Morton order),
+sharing the same hit/miss counters and byte accounting.
+
+All methods are thread-safe: the cache is guarded by a session lock, and
+each plan serialises its own executions, so concurrent
+:meth:`multiply_many` batches never corrupt pooled buffers.
+
+``repro.modgemm`` / ``repro.modgemm_morton`` are thin wrappers over the
+module-level :func:`default_session`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..blas.dgemm import GemmProblem, OpKind
+from ..blas.kernels import LeafKernel, get_kernel
+from ..core.modgemm import PhaseTimings
+from ..core.ops import NumpyOps
+from ..core.strassen import strassen_multiply
+from ..core.truncation import DEFAULT_POLICY, TruncationPolicy
+from ..core.winograd import winograd_multiply
+from ..core.workspace import Workspace
+from ..errors import PlanError
+from ..layout.matrix import MortonMatrix
+from .plan import CompiledPlan, PlanKey, resolve_variant
+
+__all__ = [
+    "GemmSession",
+    "SessionStats",
+    "default_session",
+    "reset_default_session",
+]
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """An immutable snapshot of one session's instrumentation counters.
+
+    ``plan_hits`` / ``plan_misses`` count cache lookups (the Morton
+    workspace pool of :meth:`GemmSession.multiply_morton` shares these);
+    ``buffers_reused`` counts executions served entirely from pooled
+    buffers (i.e. on a cache hit); ``buffers_allocated`` counts float64
+    scratch/operand buffers allocated by plan compilation — constant while
+    the hit path is in effect; ``bytes_pooled`` is the *current* total
+    pooled across cached plans and workspaces; ``timings`` aggregates the
+    conversion/compute phase breakdown over every execution.
+    """
+
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_evictions: int = 0
+    plans_cached: int = 0
+    executes: int = 0
+    buffers_reused: int = 0
+    buffers_allocated: int = 0
+    bytes_pooled: int = 0
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+
+class GemmSession:
+    """A long-lived GEMM execution context with a bounded plan cache.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached plans (and, separately, pooled Morton
+        workspaces).  Least-recently-used entries are evicted beyond it.
+    policy, kernel, variant:
+        Session-wide defaults for :meth:`multiply` /:meth:`plan`; each call
+        may override them.  They accept the same string-or-object forms as
+        :func:`repro.modgemm`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 16,
+        policy: "TruncationPolicy | int | str | None" = None,
+        kernel: "str | LeafKernel" = "numpy",
+        variant: str = "winograd",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.default_policy = TruncationPolicy.coerce(policy)
+        self.default_kernel = get_kernel(kernel)
+        self.default_variant = resolve_variant(variant)
+        self._lock = threading.RLock()
+        self._plans: "OrderedDict[PlanKey, CompiledPlan]" = OrderedDict()
+        self._workspaces: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._executes = 0
+        self._buffers_reused = 0
+        self._buffers_allocated = 0
+        self._timings = PhaseTimings()
+        self._timings.panels = 0
+
+    # ------------------------------------------------------------- planning
+
+    def plan(
+        self,
+        m: int,
+        k: int,
+        n: int,
+        op_a: "OpKind | str" = "n",
+        op_b: "OpKind | str" = "n",
+        policy: "TruncationPolicy | int | str | None" = None,
+        kernel: "str | LeafKernel | None" = None,
+        variant: "str | None" = None,
+        parallel: bool = False,
+    ) -> CompiledPlan:
+        """Return the cached plan for a geometry, compiling it on a miss."""
+        key = self._make_key(m, k, n, op_a, op_b, policy, kernel, variant, parallel)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self._hits += 1
+                plan._cache_hit = True
+                return plan
+            self._misses += 1
+            plan = CompiledPlan(key, self)
+            plan._cache_hit = False
+            self._buffers_allocated += plan.buffers_allocated
+            self._plans[key] = plan
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self._evictions += 1
+            return plan
+
+    def _make_key(
+        self, m, k, n, op_a, op_b, policy, kernel, variant, parallel
+    ) -> PlanKey:
+        variant = (
+            self.default_variant if variant is None else resolve_variant(variant)
+        )
+        if parallel and variant != "winograd":
+            raise PlanError(
+                "parallel execution supports only the winograd variant; "
+                f"got variant={variant!r}"
+            )
+        return PlanKey(
+            m=int(m),
+            k=int(k),
+            n=int(n),
+            op_a=OpKind.parse(op_a),
+            op_b=OpKind.parse(op_b),
+            policy=self.default_policy if policy is None
+            else TruncationPolicy.coerce(policy),
+            kernel=self.default_kernel if kernel is None else get_kernel(kernel),
+            variant=variant,
+            parallel=bool(parallel),
+        )
+
+    # ------------------------------------------------------------ execution
+
+    def multiply(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        op_a: "OpKind | str" = "n",
+        op_b: "OpKind | str" = "n",
+        policy: "TruncationPolicy | int | str | None" = None,
+        kernel: "str | LeafKernel | None" = None,
+        variant: "str | None" = None,
+        parallel: bool = False,
+        timings: PhaseTimings | None = None,
+    ) -> np.ndarray:
+        """``C <- alpha * op(A) . op(B) + beta * C`` through the plan cache.
+
+        Identical contract (and bit-identical results) to
+        :func:`repro.modgemm`; repeated same-geometry calls skip planning
+        and buffer allocation entirely.
+        """
+        p = GemmProblem.create(
+            a, b, op_a=op_a, op_b=op_b, alpha=alpha, beta=beta, c=c
+        )
+        plan = self.plan(
+            p.m, p.k, p.n, op_a=p.op_a, op_b=p.op_b,
+            policy=policy, kernel=kernel, variant=variant, parallel=parallel,
+        )
+        return plan.execute_problem(p, c=c, timings=timings)
+
+    def multiply_many(
+        self,
+        problems,
+        max_workers: int | None = None,
+        **kwargs,
+    ) -> list[np.ndarray]:
+        """Batched dispatch: multiply ``[(a, b), (a, b, c), ...]`` pairs.
+
+        Items are ``(a, b)`` or ``(a, b, c)`` tuples; ``kwargs`` (``alpha``,
+        ``beta``, ``op_a``, ``policy``, ...) apply to every item.  Batches
+        run on a thread pool (the same mechanism as
+        :mod:`repro.core.parallel` — BLAS leaf kernels and large ufuncs
+        release the GIL): items of different geometries overlap, while
+        same-geometry items serialise on their shared plan's lock, keeping
+        pooled buffers consistent.  Results are returned in input order.
+        """
+        items = list(problems)
+
+        def run(item) -> np.ndarray:
+            if len(item) == 2:
+                a, b = item
+                return self.multiply(a, b, **kwargs)
+            a, b, c = item
+            return self.multiply(a, b, c=c, **kwargs)
+
+        if max_workers == 1 or len(items) <= 1:
+            return [run(item) for item in items]
+        workers = max_workers if max_workers is not None else min(8, len(items))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run, items))
+
+    def multiply_morton(
+        self,
+        a_mm: MortonMatrix,
+        b_mm: MortonMatrix,
+        c_mm: MortonMatrix | None = None,
+        kernel: "str | LeafKernel | None" = None,
+        variant: "str | None" = None,
+        workspace: Workspace | None = None,
+    ) -> MortonMatrix:
+        """Multiply operands already in Morton order (Figure 8 regime).
+
+        Pools the recursion :class:`Workspace` per geometry when the caller
+        does not supply one; an explicit ``workspace`` bypasses the pool
+        (and its lock) exactly as the historical API did.
+        """
+        variant = (
+            self.default_variant if variant is None else resolve_variant(variant)
+        )
+        kern = self.default_kernel if kernel is None else get_kernel(kernel)
+        if c_mm is None:
+            c_mm = MortonMatrix(
+                buf=np.empty(
+                    (a_mm.tile_r << a_mm.depth) * (b_mm.tile_c << b_mm.depth),
+                    dtype=np.float64,
+                ),
+                rows=a_mm.rows,
+                cols=b_mm.cols,
+                tile_r=a_mm.tile_r,
+                tile_c=b_mm.tile_c,
+                depth=a_mm.depth,
+            )
+        ops = NumpyOps(kern)
+        multiply = winograd_multiply if variant == "winograd" else strassen_multiply
+        if workspace is not None:
+            multiply(a_mm, b_mm, c_mm, ops=ops, workspace=workspace)
+            return c_mm
+        ws, ws_lock = self._pooled_workspace(
+            a_mm.depth, a_mm.tile_r, a_mm.tile_c, b_mm.tile_c
+        )
+        with ws_lock:
+            multiply(a_mm, b_mm, c_mm, ops=ops, workspace=ws)
+        return c_mm
+
+    def _pooled_workspace(
+        self, depth: int, tile_m: int, tile_k: int, tile_n: int
+    ) -> tuple[Workspace, threading.Lock]:
+        geom = (depth, tile_m, tile_k, tile_n)
+        with self._lock:
+            entry = self._workspaces.get(geom)
+            if entry is not None:
+                self._workspaces.move_to_end(geom)
+                self._hits += 1
+                self._buffers_reused += 1
+                return entry
+            self._misses += 1
+            entry = (
+                Workspace(depth, tile_m, tile_k, tile_n, with_q=True),
+                threading.Lock(),
+            )
+            self._buffers_allocated += 4 * depth
+            self._workspaces[geom] = entry
+            while len(self._workspaces) > self.capacity:
+                self._workspaces.popitem(last=False)
+                self._evictions += 1
+            return entry
+
+    # --------------------------------------------------------- bookkeeping
+
+    def _record_execution(self, plan: CompiledPlan, rec: PhaseTimings) -> None:
+        """Fold one plan execution into the session counters (plan calls this)."""
+        with self._lock:
+            self._executes += 1
+            if plan._cache_hit:
+                self._buffers_reused += 1
+            self._timings.to_morton += rec.to_morton
+            self._timings.compute += rec.compute
+            self._timings.from_morton += rec.from_morton
+            self._timings.panels += rec.panels if rec.panels > 1 else 0
+
+    def stats(self) -> SessionStats:
+        """A consistent snapshot of the instrumentation counters."""
+        with self._lock:
+            pooled = sum(p.pooled_bytes for p in self._plans.values())
+            pooled += sum(ws.total_bytes for ws, _ in self._workspaces.values())
+            agg = PhaseTimings(
+                to_morton=self._timings.to_morton,
+                compute=self._timings.compute,
+                from_morton=self._timings.from_morton,
+                panels=self._timings.panels,
+            )
+            return SessionStats(
+                plan_hits=self._hits,
+                plan_misses=self._misses,
+                plan_evictions=self._evictions,
+                plans_cached=len(self._plans),
+                executes=self._executes,
+                buffers_reused=self._buffers_reused,
+                buffers_allocated=self._buffers_allocated,
+                bytes_pooled=pooled,
+                timings=agg,
+            )
+
+    def clear(self) -> None:
+        """Drop every cached plan and pooled workspace (counters survive)."""
+        with self._lock:
+            self._plans.clear()
+            self._workspaces.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"GemmSession(capacity={self.capacity}, plans={s.plans_cached}, "
+            f"hits={s.plan_hits}, misses={s.plan_misses}, "
+            f"pooled={s.bytes_pooled} B)"
+        )
+
+
+_default_session: GemmSession | None = None
+_default_session_lock = threading.Lock()
+
+
+def default_session() -> GemmSession:
+    """The module-level session backing ``repro.modgemm`` one-shot calls."""
+    global _default_session
+    with _default_session_lock:
+        if _default_session is None:
+            _default_session = GemmSession()
+        return _default_session
+
+
+def reset_default_session(capacity: int = 16) -> GemmSession:
+    """Replace the default session (fresh cache and counters); return it."""
+    global _default_session
+    with _default_session_lock:
+        _default_session = GemmSession(capacity=capacity)
+        return _default_session

@@ -1,0 +1,42 @@
+"""Typed exceptions for the repro package.
+
+Engine callers (``repro.engine``) need to distinguish *why* a GEMM could
+not be planned or executed: a malformed problem (shapes), an infeasible or
+invalid truncation plan, or an unresolvable kernel/variant.  Each class
+subclasses :class:`ValueError` so existing ``except ValueError`` call
+sites — and the seed test-suite — keep working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "ShapeError", "PlanError", "KernelError"]
+
+
+class ReproError(ValueError):
+    """Base class for all typed repro errors (a :class:`ValueError`)."""
+
+
+class ShapeError(ReproError):
+    """Operand shapes or dimensions are invalid or non-conformable.
+
+    Raised by :meth:`repro.blas.dgemm.GemmProblem.create` and by
+    :meth:`repro.engine.CompiledPlan.execute` when operands do not match
+    the plan's frozen geometry.
+    """
+
+
+class PlanError(ReproError):
+    """A truncation/recursion plan is invalid or cannot be honoured.
+
+    Raised by :class:`repro.core.truncation.TruncationPolicy` for invalid
+    policy parameters or GEMM dimensions, and by the engine when a request
+    is inconsistent (e.g. ``parallel=True`` with a non-Winograd variant).
+    """
+
+
+class KernelError(ReproError):
+    """A leaf kernel or recursion variant could not be resolved.
+
+    Raised by :func:`repro.blas.kernels.get_kernel` and by the variant
+    resolution shared across ``modgemm`` and the engine.
+    """

@@ -103,10 +103,10 @@ def run_measured(
             protocol.run(lambda: modgemm(a, b, policy=policy), n)
         )
         times["dgefmm"].append(
-            protocol.run(lambda: dgefmm(a, b, truncation=t_dge), n)
+            protocol.run(lambda: dgefmm(a, b, policy=t_dge), n)
         )
         times["dgemmw"].append(
-            protocol.run(lambda: dgemmw(a, b, truncation=t_gw), n)
+            protocol.run(lambda: dgemmw(a, b, policy=t_gw), n)
         )
     return ExperimentResult(
         name="fig5_6_measured",

@@ -59,7 +59,7 @@ def run(
             lambda: modgemm_morton(a_mm, b_mm, c_mm, workspace=ws), n
         )
         t_mod_full = protocol.run(lambda: modgemm(a, b, policy=policy), n)
-        t_dge_time = protocol.run(lambda: dgefmm(a, b, truncation=t_dge), n)
+        t_dge_time = protocol.run(lambda: dgefmm(a, b, policy=t_dge), n)
         rows.append(
             (
                 n,

@@ -25,12 +25,17 @@ __all__ = ["dense_to_morton", "morton_to_dense"]
 
 
 def dense_to_morton(
-    a: np.ndarray, out: MortonMatrix, transpose: bool = False
+    a: np.ndarray, out: MortonMatrix, transpose: bool = False,
+    zero_pad: bool = True,
 ) -> MortonMatrix:
     """Copy dense ``a`` (or its transpose) into Morton matrix ``out``.
 
     ``out.shape`` must equal the logical shape of ``op(a)``.  Returns
-    ``out`` for chaining.
+    ``out`` for chaining.  ``zero_pad=False`` skips re-zeroing the pad
+    region — valid only when the caller guarantees it is already zero and
+    has stayed zero since (the engine's pooled operand buffers maintain
+    exactly this invariant, so repeated conversions touch only the logical
+    elements).
     """
     a = np.asarray(a, dtype=np.float64)
     if a.ndim != 2:
@@ -50,13 +55,15 @@ def dense_to_morton(
         c1 = min(c0 + tc, cols)
         if r1 <= r0 or c1 <= c0:
             # Tile entirely inside the pad.
-            dest[:] = 0.0
+            if zero_pad:
+                dest[:] = 0.0
             continue
         tile2d = dest.reshape(tc, tr).T  # Fortran-order view of the tile
         if r1 - r0 == tr and c1 - c0 == tc:
             tile2d[:, :] = src[r0:r1, c0:c1]
         else:
-            dest[:] = 0.0
+            if zero_pad:
+                dest[:] = 0.0
             tile2d[: r1 - r0, : c1 - c0] = src[r0:r1, c0:c1]
     return out
 

@@ -80,7 +80,7 @@ class TestDgefmmInterface:
         b = rng.standard_normal((140, 90))
         c0 = rng.standard_normal((120, 140))
         c = c0.copy()
-        out = dgefmm(a, b, c=c, alpha=1.5, beta=-2.0, op_a="t", op_b="t", truncation=32)
+        out = dgefmm(a, b, c=c, alpha=1.5, beta=-2.0, op_a="t", op_b="t", policy=32)
         assert out is c
         assert_gemm_close(out, 1.5 * (a.T @ b.T) - 2.0 * c0)
 
@@ -92,4 +92,4 @@ class TestDgefmmInterface:
     def test_alpha_only(self, rng):
         a = rng.standard_normal((70, 70))
         b = rng.standard_normal((70, 70))
-        assert_gemm_close(dgefmm(a, b, alpha=3.0, truncation=32), 3.0 * (a @ b))
+        assert_gemm_close(dgefmm(a, b, alpha=3.0, policy=32), 3.0 * (a @ b))

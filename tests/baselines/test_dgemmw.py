@@ -58,7 +58,7 @@ class TestDgemmwInterface:
         b = rng.standard_normal((140, 90))
         c0 = rng.standard_normal((120, 140))
         c = c0.copy()
-        out = dgemmw(a, b, c=c, alpha=0.5, beta=1.0, op_a="t", op_b="t", truncation=32)
+        out = dgemmw(a, b, c=c, alpha=0.5, beta=1.0, op_a="t", op_b="t", policy=32)
         assert out is c
         assert_gemm_close(out, 0.5 * (a.T @ b.T) + c0)
 

@@ -1,0 +1,1 @@
+"""Tests for the plan-caching GEMM engine."""

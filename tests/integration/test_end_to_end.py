@@ -32,8 +32,8 @@ class TestPublicApi:
         b = rng.standard_normal((140, 120))
         ref = a @ b
         assert_gemm_close(repro.modgemm(a, b), ref)
-        assert_gemm_close(repro.dgefmm(a, b, truncation=32), ref)
-        assert_gemm_close(repro.dgemmw(a, b, truncation=32), ref)
+        assert_gemm_close(repro.dgefmm(a, b, policy=32), ref)
+        assert_gemm_close(repro.dgemmw(a, b, policy=32), ref)
 
 
 class TestMortonWorkflow:
