@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench figures quick-figures clean
+.PHONY: install test lint bench bench-smoke figures quick-figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,13 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Tiny-size run of the scheduler/conversion scaling benchmark, then a
+# schema check of the BENCH_parallel.json it emits.
+bench-smoke:
+	PYTHONPATH=src BENCH_PARALLEL_QUICK=1 $(PYTHON) -m pytest \
+		benchmarks/test_bench_parallel.py -q
+	$(PYTHON) benchmarks/validate_bench_parallel.py
 
 figures:
 	$(PYTHON) -m repro.experiments all

@@ -23,6 +23,7 @@ adds into ``out`` instead of overwriting.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Protocol
 
 import numpy as np
@@ -47,6 +48,18 @@ class LeafKernel(Protocol):
     ) -> None: ...
 
 
+_acc_scratch = threading.local()
+
+
+def _accumulate_scratch(n_elems: int) -> np.ndarray:
+    """Per-thread grow-only staging buffer for the accumulate path."""
+    buf = getattr(_acc_scratch, "buf", None)
+    if buf is None or buf.size < n_elems:
+        buf = np.empty(max(n_elems, 4096), dtype=np.float64)
+        _acc_scratch.buf = buf
+    return buf
+
+
 def leaf_matmul(
     a: np.ndarray, b: np.ndarray, out: np.ndarray, accumulate: bool = False
 ) -> None:
@@ -57,14 +70,34 @@ def leaf_matmul(
     compute ``(b.T @ a.T)`` into ``out.T`` — the same product, with the
     transposed destination C-contiguous exactly when ``out`` is
     F-contiguous.  Falls back to a temporary for exotic strides.
+
+    The accumulate path stages the product in a per-thread grow-only
+    scratch and adds it in place, so hot accumulate leaves (panelled
+    products, peeling baselines) stop allocating a temporary per call.
     """
+    same_dtype = a.dtype == b.dtype == out.dtype
     if accumulate:
-        out += a @ b
+        ot = out.T
+        if same_dtype and out.dtype == np.float64 and (
+            ot.flags.c_contiguous or out.flags.c_contiguous
+        ):
+            m, n = out.shape
+            tmp = _accumulate_scratch(m * n)
+            if ot.flags.c_contiguous:
+                t2 = tmp[: m * n].reshape(n, m)
+                np.matmul(b.T, a.T, out=t2)
+                np.add(ot, t2, out=ot)
+            else:
+                t2 = tmp[: m * n].reshape(m, n)
+                np.matmul(a, b, out=t2)
+                np.add(out, t2, out=out)
+        else:
+            out += a @ b
         return
     ot = out.T
-    if ot.flags.c_contiguous and a.dtype == b.dtype == out.dtype:
+    if ot.flags.c_contiguous and same_dtype:
         np.matmul(b.T, a.T, out=ot)
-    elif out.flags.c_contiguous and a.dtype == b.dtype == out.dtype:
+    elif out.flags.c_contiguous and same_dtype:
         np.matmul(a, b, out=out)
     else:
         out[...] = a @ b

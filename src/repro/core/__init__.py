@@ -9,7 +9,13 @@ from .modgemm import modgemm, modgemm_morton, PhaseTimings
 from .truncation import TruncationPolicy, DEFAULT_POLICY
 from .winograd import winograd_multiply, multiply_morton
 from .strassen import strassen_multiply
-from .parallel import parallel_multiply, ParallelScratch
+from .parallel import (
+    parallel_multiply,
+    ParallelScratch,
+    TaskScratch,
+    build_winograd_graph,
+)
+from .scheduler import Schedule, TaskGraph, WorkerPool
 from .rectangular import Shape, classify, plan_panels, split_dim, PanelProduct
 from .workspace import Workspace
 from .ops import NumpyOps, WinogradOps
@@ -25,6 +31,11 @@ __all__ = [
     "strassen_multiply",
     "parallel_multiply",
     "ParallelScratch",
+    "TaskScratch",
+    "build_winograd_graph",
+    "Schedule",
+    "TaskGraph",
+    "WorkerPool",
     "Shape",
     "classify",
     "plan_panels",

@@ -80,6 +80,7 @@ def modgemm(
     variant: str = "winograd",
     timings: PhaseTimings | None = None,
     parallel: bool = False,
+    schedule=None,
 ) -> np.ndarray:
     """``C <- alpha * op(A) . op(B) + beta * C`` via Morton-order Strassen-Winograd.
 
@@ -89,10 +90,13 @@ def modgemm(
     static truncation point, or ``"dynamic"``/``"fixed"``); ``variant`` the
     Winograd (default) or original Strassen schedule — by name or by
     function; ``kernel`` the leaf multiply; ``timings``, when supplied, is
-    filled with the conversion/compute phase breakdown.  ``parallel`` runs
-    the seven top-level Winograd products on a thread pool (see
-    :mod:`repro.core.parallel`; useful on multi-core hosts only) and is
-    rejected with a :class:`repro.errors.PlanError` for other variants.
+    filled with the conversion/compute phase breakdown.  ``schedule``
+    selects the execution mode (see :class:`repro.engine.Schedule`;
+    e.g. ``"tasks:2"`` expands two recursion levels onto the session's
+    worker pool — useful on multi-core hosts only); the boolean
+    ``parallel`` is the historical shorthand for ``tasks`` at depth 1.
+    Both are rejected with a :class:`repro.errors.PlanError` for
+    non-Winograd variants.  Every mode returns bit-identical results.
 
     Calls are served by the module-level plan-caching session
     (:func:`repro.engine.default_session`): one-shot behaviour is
@@ -103,7 +107,7 @@ def modgemm(
     return default_session().multiply(
         a, b, c=c, alpha=alpha, beta=beta, op_a=op_a, op_b=op_b,
         policy=policy, kernel=kernel, variant=variant,
-        parallel=parallel, timings=timings,
+        parallel=parallel, schedule=schedule, timings=timings,
     )
 
 

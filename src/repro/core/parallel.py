@@ -1,39 +1,59 @@
-"""Task-parallel Strassen-Winograd over the seven independent products.
+"""The Strassen-Winograd recursion as an explicit task DAG.
 
-Winograd's seven recursive products P1..P7 have no mutual dependencies —
-only the S/T operand sums before them and the U-chain combinations after
-them are ordered.  This module exploits that with a thread pool at the top
-recursion level: each product runs the ordinary sequential recursion of
-:mod:`repro.core.winograd` into its own scratch quarter-matrix with its
-own workspace, and the combination phase then reduces them into the C
-quadrants with flat vector additions.
+The recursion's parallelism is richer than "run the seven top-level
+products on a pool": at expansion depth ``d`` there are ``7**d``
+independent recursive products, and the S/T operand sums and U-chain
+combinations around them form a dependency graph whose edges are exactly
+the data flow of the Section 2 equation set.  This module builds that
+graph (:func:`build_winograd_graph`) over preallocated scratch
+(:class:`TaskScratch`) for execution on a persistent
+:class:`repro.core.scheduler.WorkerPool`.
 
-Threads (not processes) are the right tool here: the leaf kernels are BLAS
-calls and the additions large-array numpy ufuncs, both of which release
-the GIL, so the 7 products genuinely overlap.  Memory cost: 4 + 4 operand
-sums and 7 product buffers, all quarter-size — about 3.75x one quadrant,
-versus the sequential schedule's 4 scratch quarters.
+Bit-identity with the sequential schedule
+-----------------------------------------
+Every task performs the *same* numpy operation on the *same* operand
+values as one step of :func:`repro.core.winograd.winograd_multiply` — the
+only freedoms taken are (a) writing sums/products to dedicated buffers
+instead of the sequential schedule's recycled scratch and (b) commuting
+the two inputs of some U-chain additions.  IEEE-754 addition is
+commutative (identical rounding either way), so results are bitwise equal
+to the sequential recursion regardless of worker count or interleaving —
+the property the engine's tests pin down.  Each combination's dependency
+edges include both its data inputs and the earlier *readers* of the
+quadrant it overwrites (write-after-read hazards), so any topological
+execution order is equivalent.
 
-This realises the "parallel computing" thread of the paper's related work
-(Morton ordering originated partly in parallel load balancing) and is the
-natural first step beyond the paper's single-processor evaluation (it used
-one processor of the two-CPU Ultra 60).
+Memory: level 1 of the expansion holds 4+4 operand-sum quarters and 7
+product quarters (~3.75x one quadrant); each further level adds the same
+shape one size down for each of its 7 nodes.  Leaf tasks below the
+expansion run the ordinary sequential recursion with a :class:`Workspace`
+drawn from a pool sized to the concurrency hint, so no allocation happens
+on the warm path.
+
+The historical :func:`parallel_multiply` survives as a thin deprecated
+wrapper over this machinery.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import threading
+import warnings
 
 import numpy as np
 
 from ..blas.kernels import LeafKernel
 from ..layout.matrix import MortonMatrix
-from ..layout.padding import Tiling
-from .ops import NumpyOps
-from .winograd import _check_conformable, winograd_multiply
+from .ops import NumpyOps, WinogradOps
+from .scheduler import TaskGraph, WorkerPool
+from .winograd import _check_conformable, _recurse
 from .workspace import Workspace
 
-__all__ = ["parallel_multiply", "ParallelScratch"]
+__all__ = [
+    "TaskScratch",
+    "ParallelScratch",
+    "build_winograd_graph",
+    "parallel_multiply",
+]
 
 
 def _scratch(rows_tile: int, cols_tile: int, depth: int) -> MortonMatrix:
@@ -48,33 +68,112 @@ def _scratch(rows_tile: int, cols_tile: int, depth: int) -> MortonMatrix:
     )
 
 
-class ParallelScratch:
-    """Reusable scratch for :func:`parallel_multiply` at one geometry.
+class _NodeScratch:
+    """Sum/product buffers for one expanded node, with child nodes below."""
 
-    Holds the 4 + 4 operand-sum quarters, the 7 product quarters, and one
-    :class:`Workspace` per product thread — everything the thread-pool
-    schedule would otherwise allocate per call.  A scratch is bound to the
-    top-level operand geometry ``(tile_m, tile_k, tile_n, depth)``; the
-    engine pools one per compiled plan so repeated same-geometry multiplies
-    allocate nothing.
-    """
+    __slots__ = ("s", "t", "p", "children")
 
-    def __init__(self, tile_m: int, tile_k: int, tile_n: int, depth: int) -> None:
-        if depth < 1:
-            raise ValueError(f"ParallelScratch needs depth >= 1, got {depth}")
+    def __init__(
+        self, tile_m: int, tile_k: int, tile_n: int, depth: int, levels: int
+    ) -> None:
         d = depth - 1
-        self.depth = depth
         self.s = [_scratch(tile_m, tile_k, d) for _ in range(4)]
         self.t = [_scratch(tile_k, tile_n, d) for _ in range(4)]
         self.p = [_scratch(tile_m, tile_n, d) for _ in range(7)]
-        self.workspaces = (
-            [Workspace(d, tile_m, tile_k, tile_n, with_q=True) for _ in range(7)]
-            if d > 0 else [None] * 7
+        self.children = (
+            [_NodeScratch(tile_m, tile_k, tile_n, d, levels - 1) for _ in range(7)]
+            if levels > 1 and d >= 1
+            else None
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        total = sum(m.buf.nbytes for m in self.s + self.t + self.p)
+        if self.children is not None:
+            total += sum(child.total_bytes for child in self.children)
+        return total
+
+    @property
+    def buffer_count(self) -> int:
+        n = 15
+        if self.children is not None:
+            n += sum(child.buffer_count for child in self.children)
+        return n
+
+
+class _WorkspacePool:
+    """A blocking free-list of leaf :class:`Workspace` objects.
+
+    Sized to the concurrency hint, so a leaf task never waits unless more
+    workers than planned are executing leaves at once — and even then the
+    wait is deadlock-free: holders are running tasks that always release.
+    """
+
+    def __init__(self, workspaces: list[Workspace]) -> None:
+        self._free = list(workspaces)
+        self._cond = threading.Condition()
+        self.size = len(workspaces)
+
+    def acquire(self) -> Workspace:
+        with self._cond:
+            while not self._free:
+                self._cond.wait()
+            return self._free.pop()
+
+    def release(self, ws: Workspace) -> None:
+        with self._cond:
+            self._free.append(ws)
+            self._cond.notify()
+
+    @property
+    def total_bytes(self) -> int:
+        # Stable: workspaces in flight return before anyone reads stats.
+        return sum(ws.total_bytes for ws in self._free)
+
+
+class TaskScratch:
+    """Pooled intermediates for the task-DAG schedule at one geometry.
+
+    Holds the expansion tree of operand-sum and product buffers down to
+    ``parallel_depth`` levels, plus ``min(workers, 7**parallel_depth)``
+    leaf workspaces for the sequential recursions below the expansion.
+    Bound to the operand geometry ``(tile_m, tile_k, tile_n, depth)``; the
+    engine pools one per compiled plan.
+    """
+
+    def __init__(
+        self,
+        tile_m: int,
+        tile_k: int,
+        tile_n: int,
+        depth: int,
+        parallel_depth: int = 1,
+        workers: int = 7,
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"TaskScratch needs depth >= 1, got {depth}")
+        if parallel_depth < 1:
+            raise ValueError(
+                f"parallel_depth must be >= 1, got {parallel_depth}"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.depth = depth
+        self.parallel_depth = min(parallel_depth, depth)
+        self.workers = workers
+        self.root = _NodeScratch(tile_m, tile_k, tile_n, depth, self.parallel_depth)
+        leaf_depth = depth - self.parallel_depth
+        n_ws = min(workers, 7**self.parallel_depth) if leaf_depth > 0 else 0
+        self.workspace_pool = _WorkspacePool(
+            [
+                Workspace(leaf_depth, tile_m, tile_k, tile_n, with_q=True)
+                for _ in range(n_ws)
+            ]
         )
 
     def matches(self, a: MortonMatrix, b: MortonMatrix) -> bool:
         """True when this scratch serves the given operand pair."""
-        s, t = self.s[0], self.t[0]
+        s, t = self.root.s[0], self.root.t[0]
         return (
             a.depth == self.depth
             and s.tile_r == a.tile_r and s.tile_c == a.tile_c
@@ -83,12 +182,146 @@ class ParallelScratch:
 
     @property
     def total_bytes(self) -> int:
-        """Bytes held across all pooled quarters and workspaces."""
-        total = sum(m.buf.nbytes for m in self.s + self.t + self.p)
-        for ws in self.workspaces:
-            if ws is not None:
-                total += ws.total_bytes
-        return total
+        """Bytes held across all pooled buffers and leaf workspaces."""
+        return self.root.total_bytes + self.workspace_pool.total_bytes
+
+    @property
+    def buffer_count(self) -> int:
+        """Morton scratch buffers held (for session allocation counters)."""
+        leaf_depth = self.depth - self.parallel_depth
+        return self.root.buffer_count + 4 * leaf_depth * self.workspace_pool.size
+
+
+class ParallelScratch(TaskScratch):
+    """Deprecated alias of :class:`TaskScratch` at expansion depth 1.
+
+    Kept for callers of the historical ``parallel_multiply(scratch=...)``
+    form; new code should let a :class:`repro.engine.GemmSession` pool a
+    :class:`TaskScratch` inside its compiled plans.
+    """
+
+    def __init__(self, tile_m: int, tile_k: int, tile_n: int, depth: int) -> None:
+        super().__init__(tile_m, tile_k, tile_n, depth, parallel_depth=1, workers=7)
+
+
+def build_winograd_graph(
+    a: MortonMatrix,
+    b: MortonMatrix,
+    c: MortonMatrix,
+    scratch: TaskScratch,
+    ops: WinogradOps | None = None,
+) -> TaskGraph:
+    """Build the reusable task DAG computing ``C = A . B``.
+
+    The graph closes over the operand/product buffers and the scratch, so
+    it is built once per (plan, scratch) pair and re-run without touching
+    the allocator.  Requires ``a.depth >= 1`` (use the sequential path for
+    leaf-only operands).
+    """
+    _check_conformable(a, b, c)
+    if not scratch.matches(a, b):
+        raise ValueError("scratch geometry does not match the operands")
+    if ops is None:
+        ops = NumpyOps()
+    graph = TaskGraph(name=f"winograd-{a.rows}x{a.cols}x{b.cols}")
+    _expand(graph, ops, scratch, a, b, c, scratch.root,
+            scratch.parallel_depth, (), ())
+    return graph
+
+
+def _expand(
+    graph: TaskGraph,
+    ops: WinogradOps,
+    scratch: TaskScratch,
+    a: MortonMatrix,
+    b: MortonMatrix,
+    c: MortonMatrix,
+    node: _NodeScratch | None,
+    levels: int,
+    deps_a: tuple,
+    deps_b: tuple,
+) -> list:
+    """Emit tasks computing ``c = a . b``; return the tasks completing c."""
+    if levels == 0 or a.depth == 0:
+        ws_pool = scratch.workspace_pool
+
+        if a.depth == 0:
+            def leaf(x=a, y=b, out=c):
+                ops.leaf_mult(x, y, out)
+        else:
+            def leaf(x=a, y=b, out=c):
+                ws = ws_pool.acquire()
+                try:
+                    _recurse(x, y, out, ops, ws)
+                finally:
+                    ws_pool.release(ws)
+
+        return [graph.add(leaf, deps=(*deps_a, *deps_b), label="product")]
+
+    a11, a12, a21, a22 = a.quadrants()
+    b11, b12, b21, b22 = b.quadrants()
+    c11, c12, c21, c22 = c.quadrants()
+    s1, s2, s3, s4 = node.s
+    t1, t2, t3, t4 = node.t
+    p = node.p
+
+    def op2(fn, dst, x, y):
+        return lambda: fn(dst, x, y)
+
+    # Operand sums (Section 2): chained in dataflow order.  Dedicated
+    # destination buffers replace the sequential schedule's recycled S/T
+    # scratch, so the four sums per side can proceed concurrently.
+    ts1 = graph.add(op2(ops.add, s1, a21, a22), deps=deps_a, label="S1")
+    ts2 = graph.add(op2(ops.sub, s2, s1, a11), deps=(ts1, *deps_a), label="S2")
+    ts3 = graph.add(op2(ops.sub, s3, a11, a21), deps=deps_a, label="S3")
+    ts4 = graph.add(op2(ops.sub, s4, a12, s2), deps=(ts2, *deps_a), label="S4")
+    tt1 = graph.add(op2(ops.sub, t1, b12, b11), deps=deps_b, label="T1")
+    tt2 = graph.add(op2(ops.sub, t2, b22, t1), deps=(tt1, *deps_b), label="T2")
+    tt3 = graph.add(op2(ops.sub, t3, b22, b12), deps=deps_b, label="T3")
+    tt4 = graph.add(op2(ops.sub, t4, b21, t2), deps=(tt2, *deps_b), label="T4")
+
+    kids = node.children or [None] * 7
+
+    def product(i, x, y, dx, dy):
+        return _expand(graph, ops, scratch, x, y, p[i], kids[i],
+                       levels - 1, dx, dy)
+
+    p1 = product(0, a11, b11, deps_a, deps_b)
+    p2 = product(1, a12, b21, deps_a, deps_b)
+    p3 = product(2, s1, t1, (ts1,), (tt1,))
+    p4 = product(3, s2, t2, (ts2,), (tt2,))
+    p5 = product(4, s3, t3, (ts3,), (tt3,))
+    p6 = product(5, s4, b22, (ts4,), deps_b)
+    p7 = product(6, a22, t4, deps_a, (tt4,))
+
+    # U-chain combinations.  Values match the sequential schedule bitwise
+    # (see module docstring); edges beyond the data inputs order the
+    # staged writes: u3 reads C12 before u7a overwrites it, u5 reads C21
+    # before u4 does.
+    u1 = graph.add(op2(ops.add, c11, p[0], p[1]), deps=(*p1, *p2), label="U1")
+    u2 = graph.add(op2(ops.add, c12, p[0], p[3]), deps=(*p1, *p4), label="U2")
+    u3 = graph.add(op2(ops.add, c21, c12, p[4]), deps=(u2, *p5), label="U3")
+    u5 = graph.add(op2(ops.add, c22, c21, p[2]), deps=(u3, *p3), label="U5")
+    u7a = graph.add(lambda: ops.iadd(c12, p[5]), deps=(u3, *p6), label="U7a")
+    u7b = graph.add(lambda: ops.iadd(c12, p[2]), deps=(u7a, *p3), label="U7b")
+    u4 = graph.add(lambda: ops.iadd(c21, p[6]), deps=(u5, *p7), label="U4")
+    return [u1, u7b, u4, u5]
+
+
+# --------------------------------------------------------------- legacy API
+
+_legacy_pools: dict[int, WorkerPool] = {}
+_legacy_lock = threading.Lock()
+
+
+def _legacy_pool(workers: int) -> WorkerPool:
+    with _legacy_lock:
+        pool = _legacy_pools.get(workers)
+        if pool is None:
+            pool = _legacy_pools[workers] = WorkerPool(
+                workers, name=f"repro-legacy-{workers}"
+            )
+        return pool
 
 
 def parallel_multiply(
@@ -97,15 +330,29 @@ def parallel_multiply(
     c: MortonMatrix | None = None,
     kernel: "str | LeafKernel" = "numpy",
     max_workers: int = 7,
-    scratch: ParallelScratch | None = None,
+    scratch: TaskScratch | None = None,
 ) -> MortonMatrix:
-    """``C = A . B`` with the 7 top-level products on a thread pool.
+    """``C = A . B`` on a worker pool (deprecated free-standing form).
 
-    Falls back to the sequential recursion for depth-0 operands.  Returns
-    the (possibly freshly allocated) Morton product.  ``scratch`` supplies
-    pooled intermediate buffers (see :class:`ParallelScratch`); when absent
-    a fresh set is allocated, matching the historical behaviour.
+    .. deprecated::
+        Use a :class:`repro.engine.GemmSession` with
+        ``schedule=Schedule.tasks(...)`` (or ``parallel=True``) instead:
+        sessions own a persistent worker pool and pool all scratch inside
+        compiled plans, where this wrapper rebuilds the task graph per
+        call.  Results are bit-identical to the session's task schedule
+        (and to the sequential recursion).
+
+    Falls back to the sequential leaf multiply for depth-0 operands.
+    ``scratch`` supplies pooled intermediate buffers (see
+    :class:`TaskScratch`); when absent a fresh set is allocated, matching
+    the historical behaviour.
     """
+    warnings.warn(
+        "parallel_multiply is deprecated; use GemmSession with a "
+        "tasks schedule (parallel=True or schedule='tasks:...')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if c is None:
         c = _scratch(a.tile_r, b.tile_c, a.depth)
         c.rows, c.cols = a.rows, b.cols
@@ -117,57 +364,13 @@ def parallel_multiply(
         ops.leaf_mult(a, b, c)
         return c
     if scratch is None:
-        scratch = ParallelScratch(a.tile_r, a.tile_c, b.tile_c, a.depth)
-    elif not scratch.matches(a, b):
-        raise ValueError("scratch geometry does not match the operands")
-
-    a11, a12, a21, a22 = a.quadrants()
-    b11, b12, b21, b22 = b.quadrants()
-    c11, c12, c21, c22 = c.quadrants()
-    d = a11.depth
-
-    s1, s2, s3, s4 = scratch.s
-    t1, t2, t3, t4 = scratch.t
-    ops.add(s1, a21, a22)
-    ops.sub(s2, s1, a11)
-    ops.sub(s3, a11, a21)
-    ops.sub(s4, a12, s2)
-    ops.sub(t1, b12, b11)
-    ops.sub(t2, b22, t1)
-    ops.sub(t3, b22, b12)
-    ops.sub(t4, b21, t2)
-
-    products = [
-        (a11, b11),  # P1
-        (a12, b21),  # P2
-        (s1, t1),    # P3
-        (s2, t2),    # P4
-        (s3, t3),    # P5
-        (s4, b22),   # P6
-        (a22, t4),   # P7
-    ]
-    results = scratch.p
-
-    def run(i: int) -> None:
-        x, y = products[i]
-        ws = scratch.workspaces[i]
-        if ws is None and d > 0:
-            ws = Workspace(d, x.tile_r, x.tile_c, y.tile_c, with_q=True)
-        winograd_multiply(x, y, results[i], ops=NumpyOps(kernel), workspace=ws)
-
+        scratch = TaskScratch(
+            a.tile_r, a.tile_c, b.tile_c, a.depth,
+            parallel_depth=1, workers=max_workers,
+        )
+    graph = build_winograd_graph(a, b, c, scratch, ops=ops)
     if max_workers == 1:
-        for i in range(7):
-            run(i)
+        graph.run_inline()
     else:
-        with ThreadPoolExecutor(max_workers=min(max_workers, 7)) as pool:
-            list(pool.map(run, range(7)))
-
-    p1, p2, p3, p4, p5, p6, p7 = results
-    ops.add(c11, p1, p2)       # U1
-    ops.add(c12, p1, p4)       # U2 staged in C12
-    ops.add(c21, c12, p5)      # U3 staged in C21
-    ops.add(c22, c21, p3)      # U5 = C22 final
-    ops.iadd(c12, p3)          # U6
-    ops.iadd(c12, p6)          # U7 = C12 final
-    ops.iadd(c21, p7)          # U4 = C21 final
+        _legacy_pool(min(max_workers, 7)).run(graph)
     return c

@@ -1,0 +1,383 @@
+"""Task-DAG execution: a persistent worker pool for the Winograd recursion.
+
+The Strassen-Winograd recursion is an instance of a series-parallel task
+graph: the S/T operand sums feed seven mutually independent products, which
+feed an ordered chain of U-combinations.  Expanding the recursion ``d``
+levels deep yields ``7**d`` independent product tasks — enough to balance
+load on hosts with more than 7 cores, which the fixed top-level split of
+the historical ``parallel_multiply`` could not.
+
+This module supplies the two execution primitives, deliberately free of any
+matrix knowledge so the layout/conversion code can reuse them:
+
+* :class:`TaskGraph` — an explicit dependency graph of nullary callables.
+  Built once (e.g. at plan-compile time, with every scratch buffer already
+  bound into the closures) and re-run many times; ``prepare()`` resets the
+  dependency counters so the warm path allocates nothing.
+* :class:`WorkerPool` — a persistent pool of daemon worker threads with
+  per-worker LIFO deques and FIFO stealing (the classic work-stealing
+  discipline: depth-first locally for cache reuse, breadth-first steals for
+  load balance).  Owned by a :class:`repro.engine.GemmSession` and shared
+  by all of its plans — no executor spin-up per multiply.
+
+Threads are the right grain: the task bodies are BLAS leaf products and
+whole-buffer numpy ufuncs, both of which release the GIL.
+
+A :class:`Schedule` names how a compiled plan executes: the sequential
+recursion, or the task graph at a given expansion depth and worker hint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from time import perf_counter
+
+__all__ = ["Schedule", "Task", "TaskGraph", "GraphRun", "WorkerPool"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A plan's execution mode: ``sequential`` or ``tasks(depth, workers)``.
+
+    ``depth`` is the number of recursion levels expanded into the task
+    graph (``7**depth`` leaf products; clamped to the plan's recursion
+    depth at compile time).  ``workers`` is a concurrency *hint* used to
+    size pooled per-worker scratch; the executing pool's size is set by the
+    owning session.  ``workers=None`` defers to the pool.
+    """
+
+    kind: str = "sequential"
+    depth: int = 0
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sequential", "tasks"):
+            raise ValueError(
+                f"schedule kind must be sequential|tasks, got {self.kind!r}"
+            )
+        if self.kind == "tasks" and self.depth < 1:
+            raise ValueError(f"tasks schedule needs depth >= 1, got {self.depth}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    @classmethod
+    def sequential(cls) -> "Schedule":
+        return cls(kind="sequential")
+
+    @classmethod
+    def tasks(cls, depth: int = 1, workers: int | None = None) -> "Schedule":
+        return cls(kind="tasks", depth=depth, workers=workers)
+
+    @classmethod
+    def coerce(cls, value, default: "Schedule | None" = None) -> "Schedule":
+        """Normalise a schedule argument.
+
+        Accepts a :class:`Schedule`, ``None`` (the ``default``, or
+        sequential), or the string forms ``"sequential"``, ``"tasks"``,
+        ``"tasks:D"`` and ``"tasks:DxW"`` (e.g. ``"tasks:2x8"``).
+        """
+        if value is None:
+            return default if default is not None else cls.sequential()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            name = value.strip().lower()
+            if name == "sequential":
+                return cls.sequential()
+            if name == "tasks":
+                return cls.tasks()
+            if name.startswith("tasks:"):
+                spec = name[len("tasks:"):]
+                try:
+                    if "x" in spec:
+                        d, w = spec.split("x", 1)
+                        return cls.tasks(depth=int(d), workers=int(w))
+                    return cls.tasks(depth=int(spec))
+                except ValueError:
+                    pass
+        raise ValueError(
+            f"cannot interpret {value!r} as a schedule; expected a Schedule, "
+            "'sequential', 'tasks', 'tasks:D', or 'tasks:DxW'"
+        )
+
+    @property
+    def parallel(self) -> bool:
+        return self.kind == "tasks"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind == "sequential":
+            return "Schedule.sequential()"
+        w = "" if self.workers is None else f", workers={self.workers}"
+        return f"Schedule.tasks(depth={self.depth}{w})"
+
+
+class Task:
+    """One node of a :class:`TaskGraph`: a nullary callable plus edges."""
+
+    __slots__ = ("fn", "index", "label", "succs", "n_deps", "_pending")
+
+    def __init__(self, fn, index: int, label: str = "") -> None:
+        self.fn = fn
+        self.index = index
+        self.label = label
+        self.succs: list[Task] = []
+        self.n_deps = 0
+        self._pending = 0
+
+
+class TaskGraph:
+    """A reusable dependency graph of tasks.
+
+    Build with :meth:`add` (dependencies must already be in the graph, so
+    construction is naturally topological and cycles are unrepresentable),
+    then hand to :meth:`WorkerPool.run` as many times as desired.  The
+    graph itself holds only per-run counters — the closures own (references
+    to) whatever buffers they touch, so re-running allocates nothing.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.tasks: list[Task] = []
+        self._roots: list[Task] = []
+        # -- per-run state, reset by prepare() --
+        self._unfinished = 0
+        self._running = 0
+        self._busy = 0.0
+        self._error: BaseException | None = None
+        self._failed = False
+        self._done = threading.Event()
+
+    def add(self, fn, deps=(), label: str = "") -> Task:
+        """Append a task depending on the given already-added tasks."""
+        task = Task(fn, index=len(self.tasks), label=label)
+        for dep in deps:
+            dep.succs.append(task)
+            task.n_deps += 1
+        self.tasks.append(task)
+        if task.n_deps == 0:
+            self._roots.append(task)
+        return task
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def prepare(self) -> None:
+        """Reset run state; called by the pool at the start of each run."""
+        if not self.tasks:
+            raise ValueError("cannot run an empty task graph")
+        for task in self.tasks:
+            task._pending = task.n_deps
+        self._unfinished = len(self.tasks)
+        self._running = 0
+        self._busy = 0.0
+        self._error = None
+        self._failed = False
+        self._done = threading.Event()
+
+    def run_inline(self) -> "GraphRun":
+        """Execute the whole graph on the calling thread (no pool).
+
+        Used as the fallback when a graph is submitted from inside a worker
+        (where blocking on another graph could starve the pool) and by
+        tests; runs tasks in a valid topological order.
+        """
+        self.prepare()
+        t0 = perf_counter()
+        ready = list(self._roots)
+        while ready:
+            task = ready.pop()
+            task.fn()
+            for succ in task.succs:
+                succ._pending -= 1
+                if succ._pending == 0:
+                    ready.append(succ)
+            self._unfinished -= 1
+        if self._unfinished:
+            raise RuntimeError(
+                f"task graph {self.name!r} deadlocked: "
+                f"{self._unfinished} tasks never became ready"
+            )
+        wall = perf_counter() - t0
+        return GraphRun(tasks=len(self.tasks), wall=wall, busy=wall, workers=1)
+
+
+@dataclass(frozen=True)
+class GraphRun:
+    """Execution report of one graph run."""
+
+    tasks: int  #: tasks executed
+    wall: float  #: wall-clock seconds from submission to completion
+    busy: float  #: summed task execution seconds across workers
+    workers: int  #: worker threads in the executing pool
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the pool's capacity spent executing tasks."""
+        cap = self.wall * max(1, self.workers)
+        return min(1.0, self.busy / cap) if cap > 0 else 0.0
+
+
+class WorkerPool:
+    """Persistent work-stealing-style thread pool for task graphs.
+
+    Each worker owns a LIFO deque; newly-ready tasks go to the deque of the
+    worker that completed their last dependency (depth-first — the data is
+    still warm), and idle workers steal from the opposite (FIFO) end of
+    other workers' deques or take from the shared injection queue.  All
+    queues share one lock: tasks here are coarse (whole-buffer ufuncs, BLAS
+    leaf products), so queue traffic is a few dozen operations per
+    multiply and contention is negligible.
+
+    Multiple graphs may be in flight at once (e.g. concurrent sessions
+    sharing one pool); tasks carry their graph, so bookkeeping never
+    crosses streams.  Worker threads are daemons: an un-closed pool never
+    blocks interpreter exit, but call :meth:`shutdown` to release the
+    threads deterministically.
+    """
+
+    _ids = threading.local()
+
+    def __init__(self, workers: int, name: str = "repro-worker") -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._inject: deque = deque()
+        self._local: list[deque] = [deque() for _ in range(self.workers)]
+        self._shutdown = False
+        self.tasks_completed = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker, args=(i,), name=f"{name}-{i}", daemon=True
+            )
+            for i in range(self.workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -------------------------------------------------------------- running
+
+    def run(self, graph: TaskGraph) -> GraphRun:
+        """Execute ``graph`` to completion; re-raise the first task error.
+
+        Blocks the calling thread (which must not be one of this pool's
+        workers — those fall back to an inline run to keep the pool live).
+        """
+        if getattr(self._ids, "pool", None) is self:
+            return graph.run_inline()
+        graph.prepare()
+        t0 = perf_counter()
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError("worker pool has been shut down")
+            self._inject.extend((graph, t) for t in graph._roots)
+            self._cond.notify_all()
+        graph._done.wait()
+        wall = perf_counter() - t0
+        if graph._error is not None:
+            raise graph._error
+        return GraphRun(
+            tasks=len(graph.tasks), wall=wall, busy=graph._busy, workers=self.workers
+        )
+
+    def run_all(self, fns, name: str = "batch") -> GraphRun:
+        """Run independent callables as a throwaway single-phase graph."""
+        graph = TaskGraph(name)
+        for fn in fns:
+            graph.add(fn)
+        return self.run(graph)
+
+    # -------------------------------------------------------------- workers
+
+    def _pop(self, i: int):
+        """Next (graph, task) under the lock: own LIFO, steal FIFO, inject."""
+        own = self._local[i]
+        if own:
+            return own.pop()
+        for j in range(self.workers):
+            other = self._local[(i + j + 1) % self.workers]
+            if other:
+                return other.popleft()
+        if self._inject:
+            return self._inject.popleft()
+        return None
+
+    def _purge(self, graph: TaskGraph) -> None:
+        """Drop a failed graph's queued tasks (lock held by the caller)."""
+        for q in (self._inject, *self._local):
+            if any(g is graph for g, _ in q):
+                kept = [item for item in q if item[0] is not graph]
+                dropped = len(q) - len(kept)
+                q.clear()
+                q.extend(kept)
+                graph._unfinished -= dropped
+
+    def _worker(self, i: int) -> None:
+        self._ids.pool = self
+        while True:
+            with self._cond:
+                item = self._pop(i)
+                while item is None and not self._shutdown:
+                    self._cond.wait()
+                    item = self._pop(i)
+                if item is None:
+                    return
+                graph, task = item
+                graph._running += 1
+                cancelled = graph._failed
+            err = None
+            elapsed = 0.0
+            if not cancelled:
+                t0 = perf_counter()
+                try:
+                    task.fn()
+                except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+                    err = exc
+                elapsed = perf_counter() - t0
+            with self._cond:
+                self.tasks_completed += 1
+                graph._busy += elapsed
+                graph._running -= 1
+                graph._unfinished -= 1
+                if err is not None and not graph._failed:
+                    graph._failed = True
+                    graph._error = err
+                    self._purge(graph)
+                if graph._failed:
+                    # Cancelled: never-ready tasks are abandoned with the
+                    # graph.  Release the caller only once nothing is still
+                    # executing, so pooled buffers are quiescent again.
+                    if graph._running == 0:
+                        graph._done.set()
+                else:
+                    pushed = 0
+                    for succ in task.succs:
+                        succ._pending -= 1
+                        if succ._pending == 0:
+                            self._local[i].append((graph, succ))
+                            pushed += 1
+                    if graph._unfinished == 0:
+                        graph._done.set()
+                    if pushed > 1:
+                        self._cond.notify(pushed - 1)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def shutdown(self) -> None:
+        """Stop the workers once their queues drain.  Idempotent."""
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+        for t in self._threads:
+            if t is not threading.current_thread():
+                t.join(timeout=5.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "shutdown" if self._shutdown else "live"
+        return (
+            f"WorkerPool(workers={self.workers}, {state}, "
+            f"completed={self.tasks_completed})"
+        )

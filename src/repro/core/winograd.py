@@ -30,6 +30,8 @@ depth, and leaves are multiplied by the conventional kernel.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..layout.matrix import MortonMatrix
 from .ops import NumpyOps, WinogradOps
 from .workspace import Workspace
@@ -134,9 +136,15 @@ def multiply_morton(
     b: MortonMatrix,
     ops: WinogradOps | None = None,
 ) -> MortonMatrix:
-    """Convenience wrapper: allocate C and workspace, run the recursion."""
-    import numpy as np
+    """Convenience wrapper: allocate C, run the recursion.
 
+    With the default arithmetic backend the call routes through the
+    default session's pooled per-geometry workspace
+    (:meth:`repro.engine.GemmSession.multiply_morton`) instead of
+    allocating fresh scratch per call; a custom ``ops`` backend (e.g. the
+    trace emitter) cannot share pooled numeric scratch and keeps the
+    direct path.
+    """
     c = MortonMatrix(
         buf=np.empty(
             (a.tile_r << a.depth) * (b.tile_c << b.depth), dtype=np.float64
@@ -147,4 +155,8 @@ def multiply_morton(
         tile_c=b.tile_c,
         depth=a.depth,
     )
+    if ops is None:
+        from ..engine.session import default_session  # avoid import cycle
+
+        return default_session().multiply_morton(a, b, c)
     return winograd_multiply(a, b, c, ops=ops)

@@ -24,6 +24,7 @@ over the module-level :func:`default_session`, so one-shot callers get the
 cache for free while staying behaviour-identical.
 """
 
+from ..core.scheduler import Schedule, WorkerPool
 from .plan import CompiledPlan, PlanKey, resolve_variant, VARIANTS
 from .session import (
     GemmSession,
@@ -35,6 +36,8 @@ from .session import (
 __all__ = [
     "CompiledPlan",
     "PlanKey",
+    "Schedule",
+    "WorkerPool",
     "GemmSession",
     "SessionStats",
     "default_session",

@@ -9,8 +9,14 @@ recompute per call for a fixed problem geometry:
 * the Morton-order operand and product buffers, allocated once with their
   pads zeroed once — repeated conversions then touch only logical
   elements (``dense_to_morton(..., zero_pad=False)``);
-* the per-level :class:`Workspace` (or :class:`ParallelScratch` for the
-  thread-pool schedule) shared across executions;
+* the per-level :class:`Workspace` (sequential schedule) or the
+  :class:`TaskScratch` plus prebuilt task graph (``tasks`` schedule, see
+  :mod:`repro.core.scheduler`) shared across executions;
+* for deep tilings, per-operand :class:`ConversionTable` index tables
+  that turn layout conversion into vectorised gather/scatter copies.  The
+  plan *calibrates* each conversion site: execution 1 times the tile
+  loop, execution 2 times the indexed path, and the winner serves every
+  later execution (a losing table is freed immediately);
 * the resolved leaf kernel and recursion variant.
 
 ``plan.execute(a, b, ...)`` then runs the full BLAS contract against the
@@ -32,14 +38,15 @@ from ..blas.dgemm import GemmProblem, OpKind
 from ..blas.kernels import LeafKernel
 from ..core.modgemm import PhaseTimings
 from ..core.ops import NumpyOps
-from ..core.parallel import ParallelScratch, parallel_multiply
+from ..core.parallel import TaskScratch, build_winograd_graph
 from ..core.rectangular import plan_panels
+from ..core.scheduler import Schedule, TaskGraph
 from ..core.strassen import strassen_multiply
 from ..core.truncation import TruncationPolicy
 from ..core.winograd import winograd_multiply
 from ..core.workspace import Workspace
 from ..errors import KernelError, PlanError, ShapeError
-from ..layout.convert import dense_to_morton
+from ..layout.convert import ConversionTable, dense_to_morton, morton_to_dense
 from ..layout.matrix import MortonMatrix
 from ..layout.padding import Tiling
 
@@ -47,6 +54,14 @@ __all__ = ["PlanKey", "CompiledPlan", "resolve_variant", "VARIANTS"]
 
 #: Canonical recursion-variant names and their multiply entry points.
 VARIANTS = {"winograd": winograd_multiply, "strassen": strassen_multiply}
+
+#: Shallowest tiling depth worth a conversion index table: below this the
+#: tile loop's per-tile Python overhead is already negligible.
+CONVERT_TABLE_MIN_DEPTH = 3
+
+#: Largest logical element count to build a table for (int64 offsets, two
+#: ravellings -> 16 bytes/element of pooled index memory).
+CONVERT_TABLE_MAX_ELEMS = 1 << 21
 
 
 def resolve_variant(variant) -> str:
@@ -78,8 +93,8 @@ class PlanKey:
     logical GEMM dimensions, both transposition flags, the truncation
     policy, the resolved leaf kernel (by identity — named kernels resolve
     to module-level functions, so equal names compare equal), the
-    recursion variant, and whether the seven top-level products run on the
-    thread pool.  ``alpha``/``beta`` are deliberately absent: scaling is
+    recursion variant, and the execution :class:`Schedule`.
+    ``alpha``/``beta`` are deliberately absent: scaling is
     post-processing and shares buffers freely.
     """
 
@@ -91,7 +106,68 @@ class PlanKey:
     policy: TruncationPolicy
     kernel: LeafKernel
     variant: str
-    parallel: bool
+    schedule: Schedule
+
+    @property
+    def parallel(self) -> bool:
+        """True when the plan executes on the task scheduler."""
+        return self.schedule.parallel
+
+
+class _ConvertSite:
+    """Adaptive loop-vs-indexed choice for one conversion site of a plan.
+
+    State machine: execution 1 runs the tile loop and records the
+    baseline; execution 2 runs the indexed path; the faster one then
+    serves every later execution.  ``observe`` returns the seconds saved
+    relative to the baseline whenever the indexed path ran (negative if
+    a run regressed — the counters stay honest).
+    """
+
+    __slots__ = ("table", "baseline", "mode")
+
+    def __init__(self, table: ConversionTable) -> None:
+        self.table = table
+        self.baseline = 0.0
+        self.mode = "baseline"  # -> "trial" -> "indexed" | "loop"
+
+    def pick(self) -> ConversionTable | None:
+        """Table to use for this execution (``None`` = tile loop)."""
+        return self.table if self.mode in ("trial", "indexed") else None
+
+    def observe(self, elapsed: float) -> float:
+        """Fold in this execution's conversion time; return seconds saved."""
+        if self.mode == "baseline":
+            self.baseline = elapsed
+            self.mode = "trial"
+            return 0.0
+        if self.mode == "trial":
+            if elapsed <= self.baseline:
+                self.mode = "indexed"
+                return self.baseline - elapsed
+            self.mode = "loop"
+            self.table = None  # free the losing table
+            return 0.0
+        if self.mode == "indexed":
+            return self.baseline - elapsed
+        return 0.0
+
+
+class _ExecExtras:
+    """Per-execution scheduler/conversion counters, folded into the session."""
+
+    __slots__ = (
+        "tasks_run", "worker_busy", "graph_wall", "pool_workers",
+        "indexed_conversions", "convert_seconds_saved",
+    )
+
+    def __init__(self) -> None:
+        self.tasks_run = 0
+        self.worker_busy = 0.0
+        self.graph_wall = 0.0
+        self.pool_workers = 0
+        self.indexed_conversions = 0
+        self.convert_seconds_saved = 0.0
 
 
 class CompiledPlan:
@@ -108,14 +184,16 @@ class CompiledPlan:
         self._cache_hit = False  # updated by the session on each lookup
         self._ops = NumpyOps(key.kernel)
         #: np.float64 buffers allocated while compiling (operands, product,
-        #: workspace levels, parallel scratch) — constant afterwards.
+        #: workspace levels, task scratch) — constant afterwards.
         self.buffers_allocated = 0
         self.tilings: tuple[Tiling, Tiling, Tiling] | None = key.policy.plan(
             key.m, key.k, key.n
         )
         self._a_mm = self._b_mm = self._c_mm = None
         self._workspace: Workspace | None = None
-        self._pscratch: ParallelScratch | None = None
+        self._tscratch: TaskScratch | None = None
+        self._graph: TaskGraph | None = None
+        self._sites: dict[str, _ConvertSite] = {}
         self._panels = None
         self._panel_plans = None
         if self.tilings is not None:
@@ -135,14 +213,30 @@ class CompiledPlan:
         self._c_mm = MortonMatrix.empty(key.m, key.n, tm, tn)
         self.buffers_allocated += 3
         depth = tm.depth
-        if key.parallel and depth > 0:
-            self._pscratch = ParallelScratch(tm.tile, tk.tile, tn.tile, depth)
-            self.buffers_allocated += 15 + (4 * 7 * (depth - 1))
+        sched = key.schedule
+        if sched.parallel and depth >= 1:
+            self._tscratch = TaskScratch(
+                tm.tile, tk.tile, tn.tile, depth,
+                parallel_depth=sched.depth,
+                workers=sched.workers or self.session._pool_size(),
+            )
+            self.buffers_allocated += self._tscratch.buffer_count
+            self._graph = build_winograd_graph(
+                self._a_mm, self._b_mm, self._c_mm, self._tscratch,
+                ops=self._ops,
+            )
         else:
             self._workspace = Workspace(
                 depth, tm.tile, tk.tile, tn.tile, with_q=True
             )
             self.buffers_allocated += 4 * depth
+        if depth >= CONVERT_TABLE_MIN_DEPTH:
+            for name, mm in (("a", self._a_mm), ("b", self._b_mm),
+                             ("c", self._c_mm)):
+                if mm.rows * mm.cols <= CONVERT_TABLE_MAX_ELEMS:
+                    self._sites[name] = _ConvertSite(ConversionTable(
+                        mm.rows, mm.cols, mm.tile_r, mm.tile_c, mm.depth
+                    ))
 
     def _compile_panels(self) -> None:
         key = self.key
@@ -167,7 +261,7 @@ class CompiledPlan:
                         policy=policy,
                         kernel=key.kernel,
                         variant=key.variant,
-                        parallel=key.parallel,
+                        schedule=key.schedule,
                     )
                 )
 
@@ -212,15 +306,17 @@ class CompiledPlan:
                 f"{(key.op_a.value, key.op_b.value)}"
             )
         rec = PhaseTimings()
+        extras = _ExecExtras()
         if self.tilings is not None:
             d = self._well_behaved_product(
                 p.a, p.b,
                 transpose_a=(p.op_a is OpKind.TRANS),
                 transpose_b=(p.op_b is OpKind.TRANS),
                 rec=rec,
+                extras=extras,
             )
         else:
-            d = self._panelled_product(p, rec)
+            d = self._panelled_product(p, rec, extras)
             rec.panels = len(self._panels)
         if timings is not None:
             timings.to_morton += rec.to_morton
@@ -228,27 +324,70 @@ class CompiledPlan:
             timings.from_morton += rec.from_morton
             if self.tilings is None:
                 timings.panels = rec.panels
-        self.session._record_execution(self, rec)
+        self.session._record_execution(self, rec, extras)
         result = p.apply_scaling(d, c)
         if c is not None and result is not c:
             c[...] = result
             return c
         return result
 
+    def _convert_site(
+        self, name: str, extras: "_ExecExtras | None", run_loop, run_indexed
+    ) -> None:
+        """Run one conversion through the site's calibrated path choice."""
+        site = self._sites.get(name)
+        table = site.pick() if site is not None else None
+        t0 = time.perf_counter()
+        if table is None:
+            run_loop()
+        else:
+            run_indexed(table)
+        elapsed = time.perf_counter() - t0
+        if site is not None:
+            saved = site.observe(elapsed)
+            if table is not None and extras is not None:
+                extras.indexed_conversions += 1
+                extras.convert_seconds_saved += saved
+
     def _well_behaved_product(
-        self, a, b, transpose_a: bool, transpose_b: bool, rec: PhaseTimings
+        self, a, b, transpose_a: bool, transpose_b: bool, rec: PhaseTimings,
+        extras: "_ExecExtras | None" = None,
     ) -> np.ndarray:
         key = self.key
         with self._lock:
+            pool = workers = None
+            if self._graph is not None:
+                pool = self.session._ensure_pool()
+                workers = pool.workers
             t0 = time.perf_counter()
-            dense_to_morton(a, self._a_mm, transpose=transpose_a, zero_pad=False)
-            dense_to_morton(b, self._b_mm, transpose=transpose_b, zero_pad=False)
+            self._convert_site(
+                "a", extras,
+                lambda: dense_to_morton(
+                    a, self._a_mm, transpose=transpose_a, zero_pad=False
+                ),
+                lambda tab: dense_to_morton(
+                    a, self._a_mm, transpose=transpose_a, zero_pad=False,
+                    table=tab, pool=pool, workers=workers or 1,
+                ),
+            )
+            self._convert_site(
+                "b", extras,
+                lambda: dense_to_morton(
+                    b, self._b_mm, transpose=transpose_b, zero_pad=False
+                ),
+                lambda tab: dense_to_morton(
+                    b, self._b_mm, transpose=transpose_b, zero_pad=False,
+                    table=tab, pool=pool, workers=workers or 1,
+                ),
+            )
             t1 = time.perf_counter()
-            if key.parallel and self._pscratch is not None:
-                parallel_multiply(
-                    self._a_mm, self._b_mm, self._c_mm,
-                    kernel=key.kernel, scratch=self._pscratch,
-                )
+            if self._graph is not None:
+                run = pool.run(self._graph)
+                if extras is not None:
+                    extras.tasks_run += run.tasks
+                    extras.worker_busy += run.busy
+                    extras.graph_wall += run.wall
+                    extras.pool_workers = run.workers
             elif key.variant == "winograd":
                 winograd_multiply(
                     self._a_mm, self._b_mm, self._c_mm,
@@ -260,14 +399,25 @@ class CompiledPlan:
                     ops=self._ops, workspace=self._workspace,
                 )
             t2 = time.perf_counter()
-            d = self._c_mm.to_dense()
+            out: list = []
+            self._convert_site(
+                "c", extras,
+                lambda: out.append(morton_to_dense(self._c_mm)),
+                lambda tab: out.append(morton_to_dense(
+                    self._c_mm, table=tab, pool=pool, workers=workers or 1
+                )),
+            )
+            d = out[0]
             t3 = time.perf_counter()
         rec.to_morton += t1 - t0
         rec.compute += t2 - t1
         rec.from_morton += t3 - t2
         return d
 
-    def _panelled_product(self, p: GemmProblem, rec: PhaseTimings) -> np.ndarray:
+    def _panelled_product(
+        self, p: GemmProblem, rec: PhaseTimings,
+        extras: "_ExecExtras | None" = None,
+    ) -> np.ndarray:
         opa = p.op_a_view
         opb = p.op_b_view
         d = np.zeros((p.m, p.n), dtype=np.float64, order="F")
@@ -278,7 +428,8 @@ class CompiledPlan:
                 part = pa @ pb
             else:
                 part = sub._well_behaved_product(
-                    pa, pb, transpose_a=False, transpose_b=False, rec=rec
+                    pa, pb, transpose_a=False, transpose_b=False, rec=rec,
+                    extras=extras,
                 )
             if panel.accumulate:
                 d[panel.m0 : panel.m1, panel.n0 : panel.n1] += part
@@ -290,22 +441,28 @@ class CompiledPlan:
 
     @property
     def pooled_bytes(self) -> int:
-        """Bytes held by this plan's pooled buffers and workspaces."""
+        """Bytes held by this plan's pooled buffers, scratch and tables."""
         total = 0
         for mm in (self._a_mm, self._b_mm, self._c_mm):
             if mm is not None:
                 total += mm.buf.nbytes
         if self._workspace is not None:
             total += self._workspace.total_bytes
-        if self._pscratch is not None:
-            total += self._pscratch.total_bytes
+        if self._tscratch is not None:
+            total += self._tscratch.total_bytes
+        for site in self._sites.values():
+            if site.table is not None:
+                total += site.table.nbytes
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         key = self.key
         shape = "panelled" if self.tilings is None else "well-behaved"
+        sched = (
+            f", tasks:{key.schedule.depth}" if key.schedule.parallel else ""
+        )
         return (
             f"CompiledPlan({key.m}x{key.k}x{key.n}, "
             f"op=({key.op_a.value},{key.op_b.value}), {key.variant}"
-            f"{', parallel' if key.parallel else ''}, {shape})"
+            f"{sched}, {shape})"
         )

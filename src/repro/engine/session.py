@@ -2,7 +2,7 @@
 
 A :class:`GemmSession` memoises :class:`CompiledPlan` objects keyed on the
 full problem geometry ``(m, k, n, op_a, op_b, policy, kernel, variant,
-parallel)``.  The first multiply of a geometry pays for truncation-point
+schedule)``.  The first multiply of a geometry pays for truncation-point
 selection and buffer allocation; every later one reuses the frozen plan —
 the amortisation that serving workloads (many same-shape multiplies) need.
 
@@ -11,6 +11,13 @@ than ``capacity`` geometries are live, the least recently used plan (and
 its pooled buffers) is dropped.  A parallel pool of :class:`Workspace`
 objects serves :meth:`multiply_morton` (operands already in Morton order),
 sharing the same hit/miss counters and byte accounting.
+
+Plans with a ``tasks`` :class:`Schedule` execute on the session's
+persistent :class:`repro.core.scheduler.WorkerPool`, created lazily on the
+first parallel execution and shared by every plan (and, via the ``pool``
+constructor argument, by several sessions).  ``stats()`` reports the
+scheduler counters — tasks run, worker utilisation — alongside the
+adaptive-conversion savings.
 
 All methods are thread-safe: the cache is guarded by a session lock, and
 each plan serialises its own executions, so concurrent
@@ -22,6 +29,7 @@ module-level :func:`default_session`.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -33,8 +41,9 @@ from ..blas.dgemm import GemmProblem, OpKind
 from ..blas.kernels import LeafKernel, get_kernel
 from ..core.modgemm import PhaseTimings
 from ..core.ops import NumpyOps
+from ..core.scheduler import Schedule, WorkerPool
 from ..core.strassen import strassen_multiply
-from ..core.truncation import DEFAULT_POLICY, TruncationPolicy
+from ..core.truncation import TruncationPolicy
 from ..core.winograd import winograd_multiply
 from ..core.workspace import Workspace
 from ..errors import PlanError
@@ -61,6 +70,14 @@ class SessionStats:
     the hit path is in effect; ``bytes_pooled`` is the *current* total
     pooled across cached plans and workspaces; ``timings`` aggregates the
     conversion/compute phase breakdown over every execution.
+
+    The scheduler adds ``parallel_executes`` (executions run on the task
+    graph), ``tasks_run``, ``worker_busy_seconds`` (summed task execution
+    time across workers) and ``worker_utilization`` (busy time over pool
+    capacity, in ``[0, 1]``).  The adaptive conversion calibration adds
+    ``indexed_conversions`` (conversions served by a precomputed index
+    table) and ``convert_seconds_saved`` (their summed time saved against
+    each site's measured tile-loop baseline).
     """
 
     plan_hits: int = 0
@@ -72,6 +89,12 @@ class SessionStats:
     buffers_allocated: int = 0
     bytes_pooled: int = 0
     timings: PhaseTimings = field(default_factory=PhaseTimings)
+    parallel_executes: int = 0
+    tasks_run: int = 0
+    worker_busy_seconds: float = 0.0
+    worker_utilization: float = 0.0
+    indexed_conversions: int = 0
+    convert_seconds_saved: float = 0.0
 
 
 class GemmSession:
@@ -82,10 +105,19 @@ class GemmSession:
     capacity:
         Maximum number of cached plans (and, separately, pooled Morton
         workspaces).  Least-recently-used entries are evicted beyond it.
-    policy, kernel, variant:
+    policy, kernel, variant, schedule:
         Session-wide defaults for :meth:`multiply` /:meth:`plan`; each call
         may override them.  They accept the same string-or-object forms as
-        :func:`repro.modgemm`.
+        :func:`repro.modgemm`; ``schedule`` additionally accepts
+        ``"tasks:D"`` / ``"tasks:DxW"`` strings (see
+        :meth:`Schedule.coerce`).
+    max_workers:
+        Size of the session's worker pool (created lazily on the first
+        ``tasks``-schedule execution).  Defaults to
+        ``min(8, os.cpu_count())``.
+    pool:
+        An existing :class:`WorkerPool` to share between sessions; the
+        session then never creates (nor shuts down) its own.
     """
 
     def __init__(
@@ -94,13 +126,22 @@ class GemmSession:
         policy: "TruncationPolicy | int | str | None" = None,
         kernel: "str | LeafKernel" = "numpy",
         variant: str = "winograd",
+        schedule: "Schedule | str | None" = None,
+        max_workers: int | None = None,
+        pool: WorkerPool | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.capacity = capacity
         self.default_policy = TruncationPolicy.coerce(policy)
         self.default_kernel = get_kernel(kernel)
         self.default_variant = resolve_variant(variant)
+        self.default_schedule = Schedule.coerce(schedule)
+        self.max_workers = max_workers
+        self._pool = pool
+        self._owns_pool = False
         self._lock = threading.RLock()
         self._plans: "OrderedDict[PlanKey, CompiledPlan]" = OrderedDict()
         self._workspaces: "OrderedDict[tuple, tuple]" = OrderedDict()
@@ -112,6 +153,54 @@ class GemmSession:
         self._buffers_allocated = 0
         self._timings = PhaseTimings()
         self._timings.panels = 0
+        self._parallel_executes = 0
+        self._tasks_run = 0
+        self._worker_busy = 0.0
+        self._worker_capacity = 0.0
+        self._indexed_conversions = 0
+        self._convert_saved = 0.0
+
+    # ---------------------------------------------------------- worker pool
+
+    def _pool_size(self) -> int:
+        """Worker count the pool has (or would be created with)."""
+        if self._pool is not None:
+            return self._pool.workers
+        if self.max_workers is not None:
+            return self.max_workers
+        return min(8, os.cpu_count() or 1)
+
+    def _ensure_pool(self) -> WorkerPool:
+        """The session's worker pool, created lazily on first parallel use."""
+        with self._lock:
+            if self._pool is None:
+                self._pool = WorkerPool(self._pool_size(), name="repro-session")
+                self._owns_pool = True
+            return self._pool
+
+    def close(self) -> None:
+        """Release pooled resources: cached plans, workspaces, worker pool.
+
+        A pool the session created itself is shut down; a shared ``pool``
+        passed at construction is left running for its other users.  The
+        session stays usable — a later parallel multiply lazily recreates
+        the pool.  Idempotent.
+        """
+        with self._lock:
+            pool, owned = self._pool, self._owns_pool
+            if owned:
+                self._pool = None
+                self._owns_pool = False
+            self._plans.clear()
+            self._workspaces.clear()
+        if owned and pool is not None:
+            pool.shutdown()
+
+    def __enter__(self) -> "GemmSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------- planning
 
@@ -126,9 +215,12 @@ class GemmSession:
         kernel: "str | LeafKernel | None" = None,
         variant: "str | None" = None,
         parallel: bool = False,
+        schedule: "Schedule | str | None" = None,
     ) -> CompiledPlan:
         """Return the cached plan for a geometry, compiling it on a miss."""
-        key = self._make_key(m, k, n, op_a, op_b, policy, kernel, variant, parallel)
+        key = self._make_key(
+            m, k, n, op_a, op_b, policy, kernel, variant, parallel, schedule
+        )
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
@@ -147,15 +239,20 @@ class GemmSession:
             return plan
 
     def _make_key(
-        self, m, k, n, op_a, op_b, policy, kernel, variant, parallel
+        self, m, k, n, op_a, op_b, policy, kernel, variant, parallel, schedule
     ) -> PlanKey:
         variant = (
             self.default_variant if variant is None else resolve_variant(variant)
         )
-        if parallel and variant != "winograd":
+        sched = Schedule.coerce(schedule, default=self.default_schedule)
+        if parallel and not sched.parallel:
+            # Historical boolean form: the seven top-level products on a
+            # pool sized for them.
+            sched = Schedule.tasks(depth=1, workers=7)
+        if sched.parallel and variant != "winograd":
             raise PlanError(
-                "parallel execution supports only the winograd variant; "
-                f"got variant={variant!r}"
+                "task-scheduled execution supports only the winograd "
+                f"variant; got variant={variant!r}"
             )
         return PlanKey(
             m=int(m),
@@ -167,7 +264,7 @@ class GemmSession:
             else TruncationPolicy.coerce(policy),
             kernel=self.default_kernel if kernel is None else get_kernel(kernel),
             variant=variant,
-            parallel=bool(parallel),
+            schedule=sched,
         )
 
     # ------------------------------------------------------------ execution
@@ -185,20 +282,23 @@ class GemmSession:
         kernel: "str | LeafKernel | None" = None,
         variant: "str | None" = None,
         parallel: bool = False,
+        schedule: "Schedule | str | None" = None,
         timings: PhaseTimings | None = None,
     ) -> np.ndarray:
         """``C <- alpha * op(A) . op(B) + beta * C`` through the plan cache.
 
         Identical contract (and bit-identical results) to
         :func:`repro.modgemm`; repeated same-geometry calls skip planning
-        and buffer allocation entirely.
+        and buffer allocation entirely.  ``schedule`` selects the execution
+        mode (all modes produce bit-identical results).
         """
         p = GemmProblem.create(
             a, b, op_a=op_a, op_b=op_b, alpha=alpha, beta=beta, c=c
         )
         plan = self.plan(
             p.m, p.k, p.n, op_a=p.op_a, op_b=p.op_b,
-            policy=policy, kernel=kernel, variant=variant, parallel=parallel,
+            policy=policy, kernel=kernel, variant=variant,
+            parallel=parallel, schedule=schedule,
         )
         return plan.execute_problem(p, c=c, timings=timings)
 
@@ -212,9 +312,8 @@ class GemmSession:
 
         Items are ``(a, b)`` or ``(a, b, c)`` tuples; ``kwargs`` (``alpha``,
         ``beta``, ``op_a``, ``policy``, ...) apply to every item.  Batches
-        run on a thread pool (the same mechanism as
-        :mod:`repro.core.parallel` — BLAS leaf kernels and large ufuncs
-        release the GIL): items of different geometries overlap, while
+        run on a thread pool (BLAS leaf kernels and large ufuncs release
+        the GIL): items of different geometries overlap, while
         same-geometry items serialise on their shared plan's lock, keeping
         pooled buffers consistent.  Results are returned in input order.
         """
@@ -301,7 +400,9 @@ class GemmSession:
 
     # --------------------------------------------------------- bookkeeping
 
-    def _record_execution(self, plan: CompiledPlan, rec: PhaseTimings) -> None:
+    def _record_execution(
+        self, plan: CompiledPlan, rec: PhaseTimings, extras=None
+    ) -> None:
         """Fold one plan execution into the session counters (plan calls this)."""
         with self._lock:
             self._executes += 1
@@ -311,6 +412,16 @@ class GemmSession:
             self._timings.compute += rec.compute
             self._timings.from_morton += rec.from_morton
             self._timings.panels += rec.panels if rec.panels > 1 else 0
+            if extras is not None:
+                if extras.tasks_run:
+                    self._parallel_executes += 1
+                    self._tasks_run += extras.tasks_run
+                    self._worker_busy += extras.worker_busy
+                    self._worker_capacity += (
+                        extras.graph_wall * max(1, extras.pool_workers)
+                    )
+                self._indexed_conversions += extras.indexed_conversions
+                self._convert_saved += extras.convert_seconds_saved
 
     def stats(self) -> SessionStats:
         """A consistent snapshot of the instrumentation counters."""
@@ -323,6 +434,11 @@ class GemmSession:
                 from_morton=self._timings.from_morton,
                 panels=self._timings.panels,
             )
+            util = (
+                min(1.0, self._worker_busy / self._worker_capacity)
+                if self._worker_capacity > 0
+                else 0.0
+            )
             return SessionStats(
                 plan_hits=self._hits,
                 plan_misses=self._misses,
@@ -333,6 +449,12 @@ class GemmSession:
                 buffers_allocated=self._buffers_allocated,
                 bytes_pooled=pooled,
                 timings=agg,
+                parallel_executes=self._parallel_executes,
+                tasks_run=self._tasks_run,
+                worker_busy_seconds=self._worker_busy,
+                worker_utilization=util,
+                indexed_conversions=self._indexed_conversions,
+                convert_seconds_saved=self._convert_saved,
             )
 
     def clear(self) -> None:

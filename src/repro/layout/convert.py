@@ -5,28 +5,119 @@ the result back at the end (Section 3.5), measuring the cost at 5-15% of
 total execution time (Figure 7).  Transposition — the BLAS ``op(X)``
 parameter — is fused into the conversion so a single core routine suffices.
 
-The conversion walks the ``4**depth`` leaf tiles in z-order and block-copies
-each as one 2-D slice assignment; a tile that straddles the logical boundary
-is zero-filled first so the pad participates harmlessly in later redundant
-arithmetic.  With at most ~1-4k tiles for the paper's sizes this is a short
-Python loop over large vectorised copies, which is the appropriate numpy
-idiom (the per-element index-permutation alternative allocates O(n^2) int64
-scratch and is several times slower).
+Two implementations coexist, selected per call site:
+
+* The **tile loop** walks the ``4**depth`` leaf tiles in z-order and
+  block-copies each as one 2-D slice assignment (zero-filling tiles that
+  straddle the logical boundary).  No setup cost; per-tile Python overhead.
+* The **index table** path (:class:`ConversionTable`) precomputes the
+  Morton-buffer offset of every logical element once, after which a
+  conversion is a handful of vectorised gather/scatter copies with no
+  Python loop at all.  This is what a cached :class:`repro.engine`
+  plan amortises: the O(n^2) int64 table is built at plan-compile time, so
+  the warm path pays only the copies.  It wins when the tile count is
+  large (depth >= ~4) and the operand is not far beyond cache; the engine
+  calibrates both paths per plan and keeps the faster one.
+
+A table can also drive a **parallel** conversion: its flat index arrays
+split into contiguous chunks that gather/scatter independently on a
+:class:`repro.core.scheduler.WorkerPool` (any object with ``run_all``).
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from .matrix import MortonMatrix
+from .morton import element_offsets
 from .tiles import iter_tiles
 
-__all__ = ["dense_to_morton", "morton_to_dense"]
+__all__ = [
+    "dense_to_morton",
+    "morton_to_dense",
+    "ConversionTable",
+    "conversion_table",
+]
+
+#: Fewest elements per chunk worth dispatching to a worker pool.
+PARALLEL_CONVERT_MIN = 1 << 20
+
+
+class ConversionTable:
+    """Precomputed Morton offsets of every logical element of one geometry.
+
+    ``offsets[i, j]`` is the flat Morton-buffer position of logical element
+    ``(i, j)``; ``flat_c`` / ``flat_f`` are its row-major / column-major
+    ravellings, paired with same-order ravellings of the dense side so a
+    whole conversion becomes one ``take``/scatter.  Immutable and shareable
+    across threads.
+    """
+
+    def __init__(self, rows: int, cols: int, tile_r: int, tile_c: int,
+                 depth: int) -> None:
+        self.rows, self.cols = rows, cols
+        self.tile_r, self.tile_c, self.depth = tile_r, tile_c, depth
+        ii = np.arange(rows, dtype=np.int64)[:, None]
+        jj = np.arange(cols, dtype=np.int64)[None, :]
+        offs = element_offsets(ii, jj, tile_r, tile_c, depth)
+        offs.setflags(write=False)
+        self.offsets = offs
+        self.flat_c = offs.reshape(-1)  # row-major pairing (view)
+        self.flat_f = np.ascontiguousarray(offs.T).reshape(-1)
+        self.flat_f.setflags(write=False)
+
+    @property
+    def nbytes(self) -> int:
+        return self.offsets.nbytes + self.flat_f.nbytes
+
+    def chunks(self, n: int) -> list[slice]:
+        """Split the element range into ``n`` roughly equal slices."""
+        total = self.rows * self.cols
+        n = max(1, min(n, total))
+        step = -(-total // n)
+        return [slice(i, min(i + step, total)) for i in range(0, total, step)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConversionTable({self.rows}x{self.cols}, tile "
+            f"{self.tile_r}x{self.tile_c}, depth {self.depth}, "
+            f"{self.nbytes >> 10} KiB)"
+        )
+
+
+@lru_cache(maxsize=8)
+def conversion_table(rows: int, cols: int, tile_r: int, tile_c: int,
+                     depth: int) -> ConversionTable:
+    """Small shared cache of tables; engine plans hold their own references."""
+    return ConversionTable(rows, cols, tile_r, tile_c, depth)
+
+
+def _indexed_to_morton(src: np.ndarray, out: MortonMatrix,
+                       table: ConversionTable, pool, workers: int) -> None:
+    """Scatter ``src`` (logical orientation) into ``out`` via the table."""
+    buf = out.buf
+    if src.flags.f_contiguous:
+        flat_idx, flat_src = table.flat_f, src.T.reshape(-1)
+    elif src.flags.c_contiguous:
+        flat_idx, flat_src = table.flat_c, src.reshape(-1)
+    else:
+        buf[table.offsets] = src  # exotic strides: 2-D fancy scatter
+        return
+    if pool is not None and flat_src.size >= workers * PARALLEL_CONVERT_MIN:
+        def scatter(sl):
+            return lambda: buf.__setitem__(flat_idx[sl], flat_src[sl])
+        pool.run_all([scatter(sl) for sl in table.chunks(workers)],
+                     name="dense_to_morton")
+    else:
+        buf[flat_idx] = flat_src
 
 
 def dense_to_morton(
     a: np.ndarray, out: MortonMatrix, transpose: bool = False,
-    zero_pad: bool = True,
+    zero_pad: bool = True, table: ConversionTable | None = None,
+    pool=None, workers: int = 1,
 ) -> MortonMatrix:
     """Copy dense ``a`` (or its transpose) into Morton matrix ``out``.
 
@@ -36,6 +127,10 @@ def dense_to_morton(
     has stayed zero since (the engine's pooled operand buffers maintain
     exactly this invariant, so repeated conversions touch only the logical
     elements).
+
+    ``table`` switches to the precomputed-index path (it must describe
+    ``out``'s geometry); with a ``pool`` (and ``workers`` > 1) large
+    conversions additionally split across pool workers.
     """
     a = np.asarray(a, dtype=np.float64)
     if a.ndim != 2:
@@ -43,6 +138,16 @@ def dense_to_morton(
     src = a.T if transpose else a
     if src.shape != out.shape:
         raise ValueError(f"op(a) shape {src.shape} != destination {out.shape}")
+
+    if table is not None:
+        if (table.rows, table.cols) != out.shape or (
+            table.tile_r, table.tile_c, table.depth
+        ) != (out.tile_r, out.tile_c, out.depth):
+            raise ValueError(f"{table!r} does not describe destination {out!r}")
+        if zero_pad and out.size != out.rows * out.cols:
+            out.buf[:] = 0.0  # indexed writes touch only logical elements
+        _indexed_to_morton(src, out, table, pool, workers)
+        return out
 
     rows, cols = out.rows, out.cols
     tr, tc = out.tile_r, out.tile_c
@@ -68,16 +173,42 @@ def dense_to_morton(
     return out
 
 
-def morton_to_dense(m: MortonMatrix, out: np.ndarray | None = None) -> np.ndarray:
+def morton_to_dense(
+    m: MortonMatrix, out: np.ndarray | None = None,
+    table: ConversionTable | None = None, pool=None, workers: int = 1,
+) -> np.ndarray:
     """Copy Morton matrix ``m`` back to a dense array of its logical shape.
 
     A fresh destination is allocated in Fortran order (the layout the BLAS
     interface traffics in); pass ``out`` to write into an existing array.
+    ``table``/``pool``/``workers`` behave as in :func:`dense_to_morton`.
     """
     if out is None:
         out = np.empty((m.rows, m.cols), dtype=np.float64, order="F")
     elif out.shape != m.shape:
         raise ValueError(f"out shape {out.shape} != logical shape {m.shape}")
+
+    if table is not None:
+        if (table.rows, table.cols) != m.shape or (
+            table.tile_r, table.tile_c, table.depth
+        ) != (m.tile_r, m.tile_c, m.depth):
+            raise ValueError(f"{table!r} does not describe source {m!r}")
+        buf = m.buf
+        if out.flags.f_contiguous:
+            flat_idx, flat_out = table.flat_f, out.T.reshape(-1)
+        elif out.flags.c_contiguous:
+            flat_idx, flat_out = table.flat_c, out.reshape(-1)
+        else:
+            out[...] = buf[table.offsets]
+            return out
+        if pool is not None and flat_out.size >= workers * PARALLEL_CONVERT_MIN:
+            def gather(sl):
+                return lambda: np.take(buf, flat_idx[sl], out=flat_out[sl])
+            pool.run_all([gather(sl) for sl in table.chunks(workers)],
+                         name="morton_to_dense")
+        else:
+            np.take(buf, flat_idx, out=flat_out)
+        return out
 
     tr, tc = m.tile_r, m.tile_c
     tile_elems = tr * tc

@@ -14,7 +14,7 @@ import numpy as np
 
 from .morton import zorder_coords
 
-__all__ = ["TileSpan", "zorder_table", "iter_tiles"]
+__all__ = ["TileSpan", "zorder_table", "tile_spans", "iter_tiles"]
 
 
 class TileSpan(NamedTuple):
@@ -37,17 +37,35 @@ def zorder_table(depth: int) -> tuple[np.ndarray, np.ndarray]:
     return ti, tj
 
 
+@lru_cache(maxsize=32)
+def tile_spans(
+    depth: int, tile_r: int, tile_c: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cached ``(row0, col0, offset)`` arrays for all tiles in z-order.
+
+    The vectorised twin of :func:`iter_tiles`: one array triple instead of
+    ``4**depth`` ``TileSpan`` objects, shared by the conversion loop and
+    the precomputed-index conversion tables.
+    """
+    ti, tj = zorder_table(depth)
+    row0 = ti * tile_r
+    col0 = tj * tile_c
+    offset = np.arange(ti.shape[0], dtype=np.int64) * (tile_r * tile_c)
+    for arr in (row0, col0, offset):
+        arr.setflags(write=False)
+    return row0, col0, offset
+
+
 def iter_tiles(depth: int, tile_r: int, tile_c: int) -> Iterator[TileSpan]:
     """Iterate leaf tiles in Morton (memory) order."""
     ti, tj = zorder_table(depth)
-    tile_elems = tile_r * tile_c
+    row0, col0, offset = tile_spans(depth, tile_r, tile_c)
     for z in range(ti.shape[0]):
-        r, c = int(ti[z]), int(tj[z])
         yield TileSpan(
             z=z,
-            ti=r,
-            tj=c,
-            row0=r * tile_r,
-            col0=c * tile_c,
-            offset=z * tile_elems,
+            ti=int(ti[z]),
+            tj=int(tj[z]),
+            row0=int(row0[z]),
+            col0=int(col0[z]),
+            offset=int(offset[z]),
         )

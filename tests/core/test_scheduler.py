@@ -1,0 +1,189 @@
+"""Unit tests for the task-DAG scheduler primitives."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.scheduler import GraphRun, Schedule, TaskGraph, WorkerPool
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = WorkerPool(4, name="test-pool")
+    yield p
+    p.shutdown()
+
+
+def chain_graph(results, n=5):
+    """a -> b -> c ... each appending its index; checks ordering."""
+    g = TaskGraph("chain")
+    prev = []
+    for i in range(n):
+        t = g.add(lambda i=i: results.append(i), deps=prev, label=f"t{i}")
+        prev = [t]
+    return g
+
+
+class TestSchedule:
+    def test_sequential_default(self):
+        s = Schedule()
+        assert s.kind == "sequential" and not s.parallel
+
+    def test_tasks_form(self):
+        s = Schedule.tasks(depth=2, workers=8)
+        assert s.parallel and s.depth == 2 and s.workers == 8
+
+    @pytest.mark.parametrize(
+        "spec, expect",
+        [
+            ("sequential", Schedule.sequential()),
+            ("tasks", Schedule.tasks()),
+            ("tasks:3", Schedule.tasks(depth=3)),
+            ("tasks:2x8", Schedule.tasks(depth=2, workers=8)),
+            (None, Schedule.sequential()),
+        ],
+    )
+    def test_coerce(self, spec, expect):
+        assert Schedule.coerce(spec) == expect
+
+    def test_coerce_default(self):
+        d = Schedule.tasks(depth=2)
+        assert Schedule.coerce(None, default=d) == d
+
+    @pytest.mark.parametrize("bad", ["turbo", "tasks:x", "tasks:0", 42, 1.5])
+    def test_coerce_rejects(self, bad):
+        with pytest.raises(ValueError):
+            Schedule.coerce(bad)
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule(kind="magic")
+        with pytest.raises(ValueError):
+            Schedule.tasks(depth=0)
+        with pytest.raises(ValueError):
+            Schedule.tasks(depth=1, workers=0)
+
+    def test_hashable_plan_key_component(self):
+        assert len({Schedule.tasks(2), Schedule.tasks(2), Schedule()}) == 2
+
+
+class TestTaskGraph:
+    def test_dependencies_order_execution(self, pool):
+        results = []
+        g = chain_graph(results)
+        pool.run(g)
+        assert results == [0, 1, 2, 3, 4]
+
+    def test_graph_is_reusable(self, pool):
+        results = []
+        g = chain_graph(results, n=3)
+        for _ in range(5):
+            pool.run(g)
+        assert results == [0, 1, 2] * 5
+
+    def test_run_inline_matches_pool(self):
+        results = []
+        g = chain_graph(results)
+        run = g.run_inline()
+        assert results == [0, 1, 2, 3, 4]
+        assert run.tasks == 5 and run.workers == 1
+
+    def test_empty_graph_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.run(TaskGraph("empty"))
+
+    def test_diamond_joins_wait_for_all(self, pool):
+        seen = []
+        g = TaskGraph("diamond")
+        top = g.add(lambda: seen.append("top"))
+        left = g.add(lambda: seen.append("left"), deps=[top])
+        right = g.add(lambda: seen.append("right"), deps=[top])
+        g.add(lambda: seen.append("join"), deps=[left, right])
+        for _ in range(10):
+            seen.clear()
+            pool.run(g)
+            assert seen[0] == "top" and seen[-1] == "join"
+            assert set(seen[1:3]) == {"left", "right"}
+
+
+class TestWorkerPool:
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_parallel_tasks_overlap(self, pool):
+        # Two tasks that each wait for the other to start: only a pool
+        # running them concurrently can finish.
+        barrier = threading.Barrier(2, timeout=10)
+        g = TaskGraph("overlap")
+        g.add(barrier.wait)
+        g.add(barrier.wait)
+        run = pool.run(g)
+        assert run.tasks == 2
+
+    def test_error_propagates_and_pool_survives(self, pool):
+        g = TaskGraph("boom")
+        t = g.add(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        g.add(lambda: None, deps=[t])
+        with pytest.raises(RuntimeError, match="boom"):
+            pool.run(g)
+        # Pool is still usable afterwards.
+        results = []
+        pool.run(chain_graph(results, n=2))
+        assert results == [0, 1]
+
+    def test_failed_graph_skips_queued_tasks(self, pool):
+        ran = []
+        g = TaskGraph("cancel")
+        t = g.add(lambda: (_ for _ in ()).throw(ValueError("first")))
+        for i in range(8):
+            g.add(lambda i=i: ran.append(i), deps=[t])
+        with pytest.raises(ValueError, match="first"):
+            pool.run(g)
+        assert ran == []  # successors of the failed task never ran
+
+    def test_run_all_runs_every_callable(self, pool):
+        counter = []
+        run = pool.run_all([lambda i=i: counter.append(i) for i in range(10)])
+        assert sorted(counter) == list(range(10))
+        assert isinstance(run, GraphRun)
+
+    def test_nested_submission_runs_inline(self, pool):
+        # A graph submitted from inside a worker must not deadlock the
+        # pool: it falls back to an inline run on that worker.
+        inner_results = []
+
+        def outer():
+            pool.run(chain_graph(inner_results, n=3))
+
+        g = TaskGraph("outer")
+        g.add(outer)
+        pool.run(g)
+        assert inner_results == [0, 1, 2]
+
+    def test_concurrent_graphs_do_not_cross(self, pool):
+        streams = [[] for _ in range(4)]
+        graphs = [chain_graph(s, n=4) for s in streams]
+        threads = [
+            threading.Thread(target=pool.run, args=(g,)) for g in graphs
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert all(s == [0, 1, 2, 3] for s in streams)
+
+    def test_run_reports_busy_time(self, pool):
+        g = TaskGraph("busy")
+        g.add(lambda: time.sleep(0.02))
+        run = pool.run(g)
+        assert run.busy >= 0.015
+        assert 0.0 <= run.utilization <= 1.0
+
+    def test_shutdown_rejects_new_work(self):
+        p = WorkerPool(2)
+        p.shutdown()
+        with pytest.raises(RuntimeError):
+            p.run(chain_graph([], n=1))
+        p.shutdown()  # idempotent

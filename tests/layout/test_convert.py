@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.layout.convert import dense_to_morton, morton_to_dense
+import repro.layout.convert as convert_mod
+from repro.core.scheduler import WorkerPool
+from repro.layout.convert import (
+    ConversionTable,
+    conversion_table,
+    dense_to_morton,
+    morton_to_dense,
+)
 from repro.layout.matrix import MortonMatrix
 from repro.layout.padding import TileRange, select_common_tiling
 
@@ -83,6 +90,121 @@ class TestValidation:
         dense_to_morton(a, m)
         with pytest.raises(ValueError):
             morton_to_dense(m, out=np.empty((9, 10)))
+
+
+def table_for(m: MortonMatrix) -> ConversionTable:
+    return ConversionTable(m.rows, m.cols, m.tile_r, m.tile_c, m.depth)
+
+
+class TestConversionTable:
+    """The precomputed-index path must agree exactly with the tile loop."""
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_roundtrip_matches_loop(self, rng, shape):
+        a = rng.standard_normal(shape)
+        loop = empty_for(*shape)
+        indexed = empty_for(*shape)
+        dense_to_morton(a, loop)
+        dense_to_morton(a, indexed, table=table_for(indexed))
+        assert np.array_equal(indexed.buf, loop.buf)
+        assert np.array_equal(
+            morton_to_dense(indexed, table=table_for(indexed)), a
+        )
+
+    @pytest.mark.parametrize("order", ["C", "F"])
+    def test_source_contiguity_dispatch(self, rng, order):
+        a = np.asarray(rng.standard_normal((65, 63)), order=order)
+        m = empty_for(65, 63)
+        dense_to_morton(a, m, table=table_for(m))
+        assert np.array_equal(morton_to_dense(m), a)
+
+    def test_strided_source_fallback(self, rng):
+        big = rng.standard_normal((130, 126))
+        a = big[::2, ::2]  # non-contiguous view
+        assert not (a.flags.c_contiguous or a.flags.f_contiguous)
+        m = empty_for(65, 63)
+        dense_to_morton(a, m, table=table_for(m))
+        assert np.array_equal(morton_to_dense(m), a)
+
+    def test_transpose_fusion(self, rng):
+        a = rng.standard_normal((40, 70))
+        m = empty_for(70, 40)
+        dense_to_morton(a, m, transpose=True, table=table_for(m))
+        assert np.array_equal(morton_to_dense(m), a.T)
+
+    def test_pad_zeroed(self, rng):
+        a = rng.standard_normal((150, 150))  # pads to 152
+        m = empty_for(150, 150)
+        m.buf[:] = np.nan
+        dense_to_morton(a, m, table=table_for(m))
+        assert not np.any(np.isnan(m.buf))
+        assert m.pad_is_zero()
+
+    def test_zero_pad_false_skips_rezero(self, rng):
+        a = rng.standard_normal((150, 150))
+        m = empty_for(150, 150)
+        dense_to_morton(a, m)  # establishes a zero pad
+        dense_to_morton(a * 2, m, zero_pad=False, table=table_for(m))
+        assert m.pad_is_zero()
+        assert np.array_equal(morton_to_dense(m), a * 2)
+
+    def test_geometry_mismatch_rejected(self, rng):
+        a = rng.standard_normal((64, 64))
+        m = empty_for(64, 64)
+        wrong = ConversionTable(63, 64, m.tile_r, m.tile_c, m.depth)
+        with pytest.raises(ValueError):
+            dense_to_morton(a, m, table=wrong)
+        dense_to_morton(a, m)
+        with pytest.raises(ValueError):
+            morton_to_dense(m, table=wrong)
+
+    def test_morton_to_dense_out_orders(self, rng):
+        a = rng.standard_normal((65, 63))
+        m = empty_for(65, 63)
+        dense_to_morton(a, m)
+        tab = table_for(m)
+        for order in ("C", "F"):
+            out = np.empty((65, 63), order=order)
+            assert np.array_equal(morton_to_dense(m, out=out, table=tab), a)
+        strided = np.empty((130, 63))[::2]
+        assert np.array_equal(morton_to_dense(m, out=strided, table=tab), a)
+
+    def test_parallel_chunked_conversion(self, rng, monkeypatch):
+        monkeypatch.setattr(convert_mod, "PARALLEL_CONVERT_MIN", 64)
+        pool = WorkerPool(3, name="test-convert")
+        try:
+            a = rng.standard_normal((150, 150))
+            m = empty_for(150, 150)
+            dense_to_morton(a, m, table=table_for(m), pool=pool, workers=3)
+            loop = empty_for(150, 150)
+            dense_to_morton(a, loop)
+            assert np.array_equal(m.buf, loop.buf)
+            out = morton_to_dense(m, table=table_for(m), pool=pool, workers=3)
+            assert np.array_equal(out, a)
+        finally:
+            pool.shutdown()
+
+    def test_chunks_cover_range_disjointly(self):
+        tab = ConversionTable(33, 33, 33, 33, 0)
+        for n in (1, 2, 7, 2000):
+            slices = tab.chunks(n)
+            covered = np.concatenate(
+                [np.arange(s.start, s.stop) for s in slices]
+            )
+            assert np.array_equal(covered, np.arange(33 * 33))
+
+    def test_shared_cache_returns_same_table(self):
+        t1 = conversion_table(64, 64, 16, 16, 2)
+        t2 = conversion_table(64, 64, 16, 16, 2)
+        assert t1 is t2
+        assert t1.nbytes > 0
+
+    def test_tables_are_immutable(self):
+        tab = conversion_table(64, 64, 16, 16, 2)
+        with pytest.raises(ValueError):
+            tab.offsets[0, 0] = 1
+        with pytest.raises(ValueError):
+            tab.flat_f[0] = 1
 
 
 class TestMortonToDenseOut:
