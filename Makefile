@@ -16,12 +16,16 @@ lint:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Tiny-size run of the scheduler/conversion scaling benchmark, then a
-# schema check of the BENCH_parallel.json it emits.
+# Tiny-size run of the scheduler/conversion scaling and memory-schedule
+# benchmarks, then schema + guard checks of the JSON reports they emit
+# (BENCH_parallel.json, BENCH_memory.json).
 bench-smoke:
 	PYTHONPATH=src BENCH_PARALLEL_QUICK=1 $(PYTHON) -m pytest \
 		benchmarks/test_bench_parallel.py -q
 	$(PYTHON) benchmarks/validate_bench_parallel.py
+	PYTHONPATH=src BENCH_MEMORY_QUICK=1 $(PYTHON) -m pytest \
+		benchmarks/test_bench_memory.py -q
+	$(PYTHON) benchmarks/validate_bench_memory.py
 
 figures:
 	$(PYTHON) -m repro.experiments all

@@ -22,7 +22,7 @@ from .flops import (
 )
 from .accuracy import max_relative_error
 from .plotting import ascii_chart, format_table
-from .profiling import Hotspot, profile_call, hotspot_table
+from .profiling import Hotspot, profile_call, hotspot_table, measure_peak
 
 __all__ = [
     "TimingProtocol",
@@ -39,4 +39,5 @@ __all__ = [
     "Hotspot",
     "profile_call",
     "hotspot_table",
+    "measure_peak",
 ]

@@ -5,16 +5,47 @@ as structured rows — used by ``examples/tuning_explorer.py --profile`` to
 show where a modgemm call actually spends its time on the host (leaf BLAS
 calls vs Morton conversion vs recursion bookkeeping), which is the
 evidence behind the host-tuned truncation defaults.
+
+:func:`measure_peak` is the memory-side counterpart: it reports the peak
+bytes a callable allocated (tracemalloc-backed; numpy array allocations
+are tracked through ``PyDataMem``), the observable the memory-schedule
+benchmark validates the Boyer-et-al. scratch reductions against.
 """
 
 from __future__ import annotations
 
 import cProfile
 import pstats
+import tracemalloc
 from dataclasses import dataclass
 from typing import Callable
 
-__all__ = ["Hotspot", "profile_call", "hotspot_table"]
+__all__ = ["Hotspot", "profile_call", "hotspot_table", "measure_peak"]
+
+
+def measure_peak(fn: Callable[[], object]) -> tuple[object, int]:
+    """Run ``fn``; return ``(result, peak_bytes)`` allocated during the run.
+
+    Peak bytes are tracemalloc's high-water mark of allocations made
+    *while* ``fn`` runs — preallocated pools the call merely reuses do not
+    count, which is exactly what a warm-session scratch comparison wants.
+    If tracing is already active (e.g. nested measurement) the existing
+    trace is reused via :func:`tracemalloc.reset_peak` and left running;
+    otherwise tracing is started and stopped around the call.
+    """
+    started = not tracemalloc.is_tracing()
+    if started:
+        tracemalloc.start()
+    else:
+        tracemalloc.reset_peak()
+    base, _ = tracemalloc.get_traced_memory()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if started:
+            tracemalloc.stop()
+    return result, max(0, peak - base)
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,7 @@ from typing import Callable, Protocol
 
 import numpy as np
 
-from ..errors import KernelError
+from ..errors import KernelError, ShapeError
 
 __all__ = [
     "LeafKernel",
@@ -50,9 +50,20 @@ class LeafKernel(Protocol):
 
 _acc_scratch = threading.local()
 
+#: Largest accumulate-staging buffer a thread may keep pinned: 1 << 20
+#: float64 elements = 8 MiB.  Bigger requests get a transient buffer so
+#: long-lived worker threads don't hold the largest tile ever staged.
+_ACC_SCRATCH_MAX_ELEMS = 1 << 20
+
 
 def _accumulate_scratch(n_elems: int) -> np.ndarray:
-    """Per-thread grow-only staging buffer for the accumulate path."""
+    """Per-thread staging buffer for the accumulate path, bounded in size.
+
+    Grows on demand up to :data:`_ACC_SCRATCH_MAX_ELEMS`; requests above
+    the cap are served by a throwaway allocation and never cached.
+    """
+    if n_elems > _ACC_SCRATCH_MAX_ELEMS:
+        return np.empty(n_elems, dtype=np.float64)
     buf = getattr(_acc_scratch, "buf", None)
     if buf is None or buf.size < n_elems:
         buf = np.empty(max(n_elems, 4096), dtype=np.float64)
@@ -120,7 +131,7 @@ def blocked_matmul(
     m, k = a.shape
     k2, n = b.shape
     if k != k2 or out.shape != (m, n):
-        raise ValueError(f"shape mismatch: a {a.shape}, b {b.shape}, out {out.shape}")
+        raise ShapeError(f"shape mismatch: a {a.shape}, b {b.shape}, out {out.shape}")
     if not accumulate:
         out[...] = 0.0
     for j0 in range(0, n, block):
@@ -138,7 +149,7 @@ def naive_matmul(
     m, k = a.shape
     k2, n = b.shape
     if k != k2 or out.shape != (m, n):
-        raise ValueError(f"shape mismatch: a {a.shape}, b {b.shape}, out {out.shape}")
+        raise ShapeError(f"shape mismatch: a {a.shape}, b {b.shape}, out {out.shape}")
     if not accumulate:
         out[...] = 0.0
     for i in range(m):

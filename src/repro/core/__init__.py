@@ -7,7 +7,12 @@ the BLAS-style entry point and DESIGN.md for the architecture.
 
 from .modgemm import modgemm, modgemm_morton, PhaseTimings
 from .truncation import TruncationPolicy, DEFAULT_POLICY
-from .winograd import winograd_multiply, multiply_morton
+from .winograd import (
+    winograd_multiply,
+    multiply_morton,
+    MEMORY_SCHEDULES,
+    resolve_memory,
+)
 from .strassen import strassen_multiply
 from .parallel import (
     parallel_multiply,
@@ -28,6 +33,8 @@ __all__ = [
     "DEFAULT_POLICY",
     "winograd_multiply",
     "multiply_morton",
+    "MEMORY_SCHEDULES",
+    "resolve_memory",
     "strassen_multiply",
     "parallel_multiply",
     "ParallelScratch",

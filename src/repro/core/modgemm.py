@@ -81,6 +81,7 @@ def modgemm(
     timings: PhaseTimings | None = None,
     parallel: bool = False,
     schedule=None,
+    memory: "str | None" = None,
 ) -> np.ndarray:
     """``C <- alpha * op(A) . op(B) + beta * C`` via Morton-order Strassen-Winograd.
 
@@ -96,7 +97,10 @@ def modgemm(
     worker pool — useful on multi-core hosts only); the boolean
     ``parallel`` is the historical shorthand for ``tasks`` at depth 1.
     Both are rejected with a :class:`repro.errors.PlanError` for
-    non-Winograd variants.  Every mode returns bit-identical results.
+    non-Winograd variants.  ``memory`` selects the recursion's scratch
+    schedule (``"classic"``/``"two_temp"``/``"ip_overwrite"``; see
+    :data:`repro.core.winograd.MEMORY_SCHEDULES`).  Every mode returns
+    bit-identical results.
 
     Calls are served by the module-level plan-caching session
     (:func:`repro.engine.default_session`): one-shot behaviour is
@@ -108,6 +112,7 @@ def modgemm(
         a, b, c=c, alpha=alpha, beta=beta, op_a=op_a, op_b=op_b,
         policy=policy, kernel=kernel, variant=variant,
         parallel=parallel, schedule=schedule, timings=timings,
+        memory=memory,
     )
 
 
@@ -118,6 +123,7 @@ def modgemm_morton(
     kernel: "str | LeafKernel" = "numpy",
     variant: str = "winograd",
     workspace: Workspace | None = None,
+    memory: "str | None" = None,
 ) -> MortonMatrix:
     """Multiply operands already in Morton order; no conversions (Figure 8).
 
@@ -125,10 +131,15 @@ def modgemm_morton(
     edges — i.e. they were created from a single
     :meth:`TruncationPolicy.plan`.  Returns the Morton-ordered product.
     When ``workspace`` is omitted the default session pools one per
-    geometry (an explicit workspace bypasses the pool, as before).
+    geometry (an explicit workspace bypasses the pool, as before); when
+    ``c_mm`` is also omitted the result lives in the session's pooled
+    output buffer and stays valid until the next same-geometry call.
+    ``memory`` selects the scratch schedule; ``"ip_overwrite"`` destroys
+    the contents of ``a_mm``/``b_mm``.
     """
     from ..engine.session import default_session
 
     return default_session().multiply_morton(
-        a_mm, b_mm, c_mm, kernel=kernel, variant=variant, workspace=workspace
+        a_mm, b_mm, c_mm, kernel=kernel, variant=variant, workspace=workspace,
+        memory=memory,
     )

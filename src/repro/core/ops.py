@@ -18,6 +18,7 @@ the very code being timed, not to a drifting re-implementation.
 
 from __future__ import annotations
 
+import threading
 from typing import Protocol
 
 import numpy as np
@@ -25,11 +26,23 @@ import numpy as np
 from ..blas.kernels import LeafKernel, get_kernel
 from ..layout.matrix import MortonMatrix
 
-__all__ = ["WinogradOps", "NumpyOps"]
+__all__ = ["WinogradOps", "NumpyOps", "FUSE_CHUNK_ELEMS"]
+
+#: Elements per chunk of a fused three-operand addition pass: 1 << 14
+#: float64 values = 128 KiB, sized so the chunk intermediate stays
+#: cache-resident while each full-size operand is streamed exactly once.
+FUSE_CHUNK_ELEMS = 1 << 14
 
 
 class WinogradOps(Protocol):
-    """Operations the recursion needs; all operands are Morton matrices."""
+    """Operations the recursion needs; all operands are Morton matrices.
+
+    ``add``/``sub``/``iadd``/``leaf_mult`` are the classic vocabulary every
+    backend implements (including the cache-simulator trace emitter).  The
+    low-memory schedules (:mod:`repro.core.winograd`, ``memory=`` other
+    than ``"classic"``) additionally require the fused passes ``add3`` and
+    ``sub_into``.
+    """
 
     def add(self, dst: MortonMatrix, x: MortonMatrix, y: MortonMatrix) -> None:
         """``dst = x + y`` (dst may alias x or y)."""
@@ -40,8 +53,28 @@ class WinogradOps(Protocol):
     def iadd(self, dst: MortonMatrix, x: MortonMatrix) -> None:
         """``dst += x``."""
 
+    def add3(
+        self, dst: MortonMatrix, x: MortonMatrix, y: MortonMatrix, z: MortonMatrix
+    ) -> None:
+        """``dst = (x + y) + z`` in one fused pass (dst may alias any operand)."""
+
+    def sub_into(self, dst: MortonMatrix, x: MortonMatrix) -> None:
+        """``dst = x - dst`` (reversed in-place subtraction)."""
+
     def leaf_mult(self, a: MortonMatrix, b: MortonMatrix, dst: MortonMatrix) -> None:
         """``dst = a . b`` on leaf tiles (depth 0)."""
+
+
+_fuse_scratch = threading.local()
+
+
+def _fuse_chunk() -> np.ndarray:
+    """Per-thread cache-sized staging chunk for fused addition passes."""
+    buf = getattr(_fuse_scratch, "buf", None)
+    if buf is None:
+        buf = np.empty(FUSE_CHUNK_ELEMS, dtype=np.float64)
+        _fuse_scratch.buf = buf
+    return buf
 
 
 def _same_size(dst: MortonMatrix, *rest: MortonMatrix) -> None:
@@ -57,10 +90,14 @@ class NumpyOps:
     """The arithmetic backend.
 
     ``kernel`` selects the leaf multiply (see :mod:`repro.blas.kernels`).
+    ``fused_adds`` counts :meth:`add3` passes (best-effort under concurrent
+    task-graph use: the increment is not atomic, so a parallel run may
+    undercount; sequential schedules are exact).
     """
 
     def __init__(self, kernel: "str | LeafKernel" = "numpy") -> None:
         self.kernel = get_kernel(kernel)
+        self.fused_adds = 0
 
     def add(self, dst: MortonMatrix, x: MortonMatrix, y: MortonMatrix) -> None:
         """``dst = x + y`` as one flat vector operation."""
@@ -76,6 +113,34 @@ class NumpyOps:
         """``dst += x`` in place."""
         _same_size(dst, x)
         dst.buf += x.buf
+
+    def add3(
+        self, dst: MortonMatrix, x: MortonMatrix, y: MortonMatrix, z: MortonMatrix
+    ) -> None:
+        """``dst = (x + y) + z`` streaming each operand once.
+
+        Evaluated chunk-wise with a cache-resident intermediate, so ``dst``
+        is written in a single pass instead of the 2-3 read-modify-write
+        passes the unfused U-chain performs.  The association is fixed
+        left-to-right — element-for-element the same operations as
+        ``add(dst, x, y); iadd(dst, z)`` — so fusion never perturbs bits.
+        ``dst`` may alias any operand: each chunk is staged before the
+        destination slice is written.
+        """
+        _same_size(dst, x, y, z)
+        d, xb, yb, zb = dst.buf, x.buf, y.buf, z.buf
+        tmp = _fuse_chunk()
+        for i in range(0, d.size, FUSE_CHUNK_ELEMS):
+            j = min(i + FUSE_CHUNK_ELEMS, d.size)
+            t = tmp[: j - i]
+            np.add(xb[i:j], yb[i:j], out=t)
+            np.add(t, zb[i:j], out=d[i:j])
+        self.fused_adds += 1
+
+    def sub_into(self, dst: MortonMatrix, x: MortonMatrix) -> None:
+        """``dst = x - dst`` as one in-place reversed vector subtraction."""
+        _same_size(dst, x)
+        np.subtract(x.buf, dst.buf, out=dst.buf)
 
     def leaf_mult(self, a: MortonMatrix, b: MortonMatrix, dst: MortonMatrix) -> None:
         """Multiply two leaf tiles with the configured kernel."""

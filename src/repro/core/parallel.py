@@ -45,7 +45,7 @@ from ..blas.kernels import LeafKernel
 from ..layout.matrix import MortonMatrix
 from .ops import NumpyOps, WinogradOps
 from .scheduler import TaskGraph, WorkerPool
-from .winograd import _check_conformable, _recurse
+from .winograd import _check_conformable, _recurse, _recurse_two_temp, resolve_memory
 from .workspace import Workspace
 
 __all__ = [
@@ -139,6 +139,12 @@ class TaskScratch:
     leaf workspaces for the sequential recursions below the expansion.
     Bound to the operand geometry ``(tile_m, tile_k, tile_n, depth)``; the
     engine pools one per compiled plan.
+
+    ``memory`` selects the leaf recursion's schedule: ``"two_temp"``
+    halves every pooled leaf :class:`Workspace` (the per-worker footprint
+    that dominates at high worker counts).  ``"ip_overwrite"`` is
+    rejected — leaf tasks share operand quadrant views with concurrent
+    tasks, which an in-place recursion would clobber.
     """
 
     def __init__(
@@ -149,6 +155,7 @@ class TaskScratch:
         depth: int,
         parallel_depth: int = 1,
         workers: int = 7,
+        memory: "str | None" = "classic",
     ) -> None:
         if depth < 1:
             raise ValueError(f"TaskScratch needs depth >= 1, got {depth}")
@@ -158,18 +165,31 @@ class TaskScratch:
             )
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        memory = resolve_memory(memory)
+        if memory == "ip_overwrite":
+            raise ValueError(
+                "memory='ip_overwrite' cannot run under the task scheduler: "
+                "leaf recursions would clobber operand quadrants shared "
+                "with concurrent tasks; use 'classic' or 'two_temp'"
+            )
         self.depth = depth
         self.parallel_depth = min(parallel_depth, depth)
         self.workers = workers
+        self.memory = memory
         self.root = _NodeScratch(tile_m, tile_k, tile_n, depth, self.parallel_depth)
         leaf_depth = depth - self.parallel_depth
         n_ws = min(workers, 7**self.parallel_depth) if leaf_depth > 0 else 0
-        self.workspace_pool = _WorkspacePool(
-            [
+        if memory == "two_temp":
+            leaf_ws = [
+                Workspace(leaf_depth, tile_m, tile_k, tile_n, schedule="two_temp")
+                for _ in range(n_ws)
+            ]
+        else:
+            leaf_ws = [
                 Workspace(leaf_depth, tile_m, tile_k, tile_n, with_q=True)
                 for _ in range(n_ws)
             ]
-        )
+        self.workspace_pool = _WorkspacePool(leaf_ws)
 
     def matches(self, a: MortonMatrix, b: MortonMatrix) -> bool:
         """True when this scratch serves the given operand pair."""
@@ -189,7 +209,11 @@ class TaskScratch:
     def buffer_count(self) -> int:
         """Morton scratch buffers held (for session allocation counters)."""
         leaf_depth = self.depth - self.parallel_depth
-        return self.root.buffer_count + 4 * leaf_depth * self.workspace_pool.size
+        per_level = 2 if self.memory == "two_temp" else 4
+        return (
+            self.root.buffer_count
+            + per_level * leaf_depth * self.workspace_pool.size
+        )
 
 
 class ParallelScratch(TaskScratch):
@@ -244,6 +268,9 @@ def _expand(
     """Emit tasks computing ``c = a . b``; return the tasks completing c."""
     if levels == 0 or a.depth == 0:
         ws_pool = scratch.workspace_pool
+        recurse = (
+            _recurse_two_temp if scratch.memory == "two_temp" else _recurse
+        )
 
         if a.depth == 0:
             def leaf(x=a, y=b, out=c):
@@ -252,7 +279,7 @@ def _expand(
             def leaf(x=a, y=b, out=c):
                 ws = ws_pool.acquire()
                 try:
-                    _recurse(x, y, out, ops, ws)
+                    recurse(x, y, out, ops, ws)
                 finally:
                     ws_pool.release(ws)
 

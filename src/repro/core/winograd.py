@@ -26,6 +26,28 @@ product terms) and is enforced by the property-based tests.
 The recursion never descends below the Morton leaf tiles: by construction
 (dynamic truncation, Section 3.4) the operands' depth *is* the recursion
 depth, and leaves are multiplied by the conventional kernel.
+
+Memory schedules
+----------------
+Three linearisations of the same equation set are provided, selected by
+``memory=``:
+
+* ``classic`` — the schedule above: S/T/P (+Q) scratch per level.
+* ``two_temp`` — Boyer, Dumas, Pernet & Zhou's two-temporary schedule:
+  the C quadrants receive the products directly and only an A-shaped X
+  and a B-shaped Y temporary remain per level (X doubles as the C-shaped
+  slot for P1; see :mod:`repro.core.workspace`).
+* ``ip_overwrite`` — the fully in-place variant: **A and B are
+  clobbered** and no scratch at all is allocated.  Requires uniform tile
+  geometry (``tile_m == tile_k == tile_n``) because A-, B- and C-shaped
+  intermediates share each other's quadrant slots.
+
+All three perform the identical floating-point operations modulo
+*commuting* the operands of two additions (U4's ``U3 + P7`` vs
+``P7 + U3``, and the staging of U2/U3), which IEEE-754 addition renders
+bit-identical — the property tests assert exact equality, not closeness.
+The low-memory schedules additionally fuse the three-operand U7 chain
+into a single :meth:`~repro.core.ops.NumpyOps.add3` pass.
 """
 
 from __future__ import annotations
@@ -36,7 +58,30 @@ from ..layout.matrix import MortonMatrix
 from .ops import NumpyOps, WinogradOps
 from .workspace import Workspace
 
-__all__ = ["winograd_multiply", "multiply_morton"]
+__all__ = [
+    "winograd_multiply",
+    "multiply_morton",
+    "MEMORY_SCHEDULES",
+    "resolve_memory",
+]
+
+#: Selectable memory schedules, in decreasing scratch order.
+MEMORY_SCHEDULES = ("classic", "two_temp", "ip_overwrite")
+
+
+def resolve_memory(memory: "str | None") -> str:
+    """Canonicalise a ``memory=`` schedule name (``None`` -> ``classic``)."""
+    if memory is None:
+        return "classic"
+    m = str(memory).strip().lower().replace("-", "_")
+    if m == "ip":
+        m = "ip_overwrite"
+    if m not in MEMORY_SCHEDULES:
+        raise ValueError(
+            f"unknown memory schedule {memory!r}; "
+            f"expected one of {MEMORY_SCHEDULES} (or the alias 'ip')"
+        )
+    return m
 
 
 def _check_conformable(a: MortonMatrix, b: MortonMatrix, c: MortonMatrix) -> None:
@@ -63,16 +108,49 @@ def winograd_multiply(
     c: MortonMatrix,
     ops: WinogradOps | None = None,
     workspace: Workspace | None = None,
+    memory: "str | None" = "classic",
 ) -> MortonMatrix:
     """Compute ``C = A . B`` over padded Morton operands (alpha/beta-free core).
 
     ``c``'s buffer is overwritten entirely (including its pad).  ``ops``
     selects the backend (arithmetic or trace emission); ``workspace`` may be
-    shared across calls of the same geometry.
+    shared across calls of the same geometry and must have been built for
+    the requested ``memory`` schedule.  With ``memory="ip_overwrite"``
+    **the contents of** ``a`` **and** ``b`` **are destroyed** and no
+    workspace is used.
     """
     _check_conformable(a, b, c)
+    memory = resolve_memory(memory)
     if ops is None:
         ops = NumpyOps()
+    if memory != "classic" and a.depth > 0 and not hasattr(ops, "add3"):
+        raise ValueError(
+            f"ops backend {type(ops).__name__} lacks the fused add3/sub_into "
+            f"passes required by the {memory!r} schedule; use memory='classic'"
+        )
+
+    if memory == "ip_overwrite":
+        if a.depth > 0 and not (a.tile_r == a.tile_c == b.tile_c):
+            raise ValueError(
+                "ip_overwrite needs uniform tile geometry (tile_m == tile_k "
+                f"== tile_n); got {a.tile_r}x{a.tile_c} . {b.tile_r}x{b.tile_c}"
+            )
+        _recurse_ip(a, b, c, ops)
+        return c
+
+    if memory == "two_temp":
+        if workspace is None:
+            workspace = Workspace(
+                a.depth, a.tile_r, a.tile_c, b.tile_c, schedule="two_temp"
+            )
+        elif getattr(workspace, "schedule", "classic") != "two_temp":
+            raise ValueError(
+                "winograd_multiply(memory='two_temp') needs a workspace "
+                "built with schedule='two_temp'"
+            )
+        _recurse_two_temp(a, b, c, ops, workspace)
+        return c
+
     if workspace is None:
         workspace = Workspace(a.depth, a.tile_r, a.tile_c, b.tile_c, with_q=True)
     elif a.depth > 0 and workspace.at(a.depth - 1).q is None:
@@ -131,6 +209,102 @@ def _recurse(
     ops.add(c11, q, p)              # C11 = U1 = P1 + P2
 
 
+def _recurse_two_temp(
+    a: MortonMatrix,
+    b: MortonMatrix,
+    c: MortonMatrix,
+    ops: WinogradOps,
+    ws: Workspace,
+) -> None:
+    """Boyer et al.'s two-temporary schedule: C quadrants double as scratch.
+
+    Per level only X (A-shaped, ``lv.s``) and Y (B-shaped, ``lv.t``)
+    temporaries exist; ``lv.p`` is a C-shaped *view of X's buffer* used to
+    stage P1 once the S-chain is dead.  Every floating-point operation
+    matches :func:`_recurse` exactly except U4 and U1/U2 staging, whose
+    additions are merely commuted — hence bit-identical results.  A and B
+    are never written.
+    """
+    if a.depth == 0:
+        ops.leaf_mult(a, b, c)
+        return
+
+    a11, a12, a21, a22 = a.quadrants()
+    b11, b12, b21, b22 = b.quadrants()
+    c11, c12, c21, c22 = c.quadrants()
+    lv = ws.at(a11.depth)
+    x, y, xc = lv.s, lv.t, lv.p  # xc aliases x's buffer (C-shaped view)
+
+    ops.sub(x, a11, a21)                     # S3
+    ops.sub(y, b22, b12)                     # T3
+    _recurse_two_temp(x, y, c21, ops, ws)    # C21 <- P5 = S3.T3
+    ops.add(x, a21, a22)                     # S1
+    ops.sub(y, b12, b11)                     # T1
+    _recurse_two_temp(x, y, c22, ops, ws)    # C22 <- P3 = S1.T1
+    ops.sub(x, x, a11)                       # S2 = S1 - A11
+    ops.sub_into(y, b22)                     # T2 = B22 - T1
+    _recurse_two_temp(x, y, c12, ops, ws)    # C12 <- P4 = S2.T2
+    ops.sub(x, a12, x)                       # S4 = A12 - S2
+    _recurse_two_temp(x, b22, c11, ops, ws)  # C11 <- P6 = S4.B22
+    _recurse_two_temp(a11, b11, xc, ops, ws)  # X <- P1 (S-chain is dead)
+
+    ops.iadd(c12, xc)            # C12 = U2 = P4 + P1
+    ops.iadd(c21, c12)           # C21 = U3 = P5 + U2
+    ops.add3(c12, c11, c12, c22)  # C12 = U7 = (P6 + U2) + P3
+    ops.iadd(c22, c21)           # C22 = U5 = P3 + U3
+    ops.sub_into(y, b21)         # T4 = B21 - T2
+    _recurse_two_temp(a22, y, c11, ops, ws)   # C11 <- P7 (P6 consumed)
+    ops.iadd(c21, c11)           # C21 = U4 = U3 + P7
+    _recurse_two_temp(a12, b21, c11, ops, ws)  # C11 <- P2 (P7 consumed)
+    ops.add(c11, xc, c11)        # C11 = U1 = P1 + P2
+
+
+def _recurse_ip(
+    a: MortonMatrix,
+    b: MortonMatrix,
+    c: MortonMatrix,
+    ops: WinogradOps,
+) -> None:
+    """Fully in-place schedule: zero scratch, A and B quadrants are consumed.
+
+    Each S/T intermediate and each product lands in a quadrant slot whose
+    previous value is provably dead; requires uniform tile geometry so A-,
+    B- and C-shaped values are interchangeable.  Same floating-point
+    operations as :func:`_recurse` modulo commuted additions (see
+    :func:`_recurse_two_temp`).
+    """
+    if a.depth == 0:
+        ops.leaf_mult(a, b, c)
+        return
+
+    a11, a12, a21, a22 = a.quadrants()
+    b11, b12, b21, b22 = b.quadrants()
+    c11, c12, c21, c22 = c.quadrants()
+
+    ops.sub(c11, a11, a21)        # C11 <- S3
+    ops.sub(c12, b22, b12)        # C12 <- T3
+    _recurse_ip(c11, c12, c21, ops)  # C21 <- P5 (consumes S3, T3 copies)
+    ops.add(a21, a21, a22)        # A21 <- S1
+    ops.sub(b12, b12, b11)        # B12 <- T1
+    ops.sub(c12, a21, a11)        # C12 <- S2 = S1 - A11
+    _recurse_ip(a11, b11, c11, ops)  # C11 <- P1 (A11, B11 die)
+    ops.sub(b11, b22, b12)        # B11 <- T2 = B22 - T1
+    _recurse_ip(a21, b12, c22, ops)  # C22 <- P3 (S1, T1 die)
+    ops.sub(a21, a12, c12)        # A21 <- S4 = A12 - S2
+    ops.sub(b12, b21, b11)        # B12 <- T4 = B21 - T2
+    _recurse_ip(c12, b11, a11, ops)  # A11 <- P4 (S2, T2 die)
+    _recurse_ip(a21, b22, c12, ops)  # C12 <- P6 (S4, B22 die)
+    _recurse_ip(a22, b12, b22, ops)  # B22 <- P7 (A22, T4 die)
+    _recurse_ip(a12, b21, a22, ops)  # A22 <- P2 (A12, B21 die)
+
+    ops.iadd(a11, c11)            # A11 = U2 = P4 + P1
+    ops.iadd(c21, a11)            # C21 = U3 = P5 + U2
+    ops.add3(c12, c12, a11, c22)  # C12 = U7 = (P6 + U2) + P3
+    ops.iadd(c22, c21)            # C22 = U5 = P3 + U3
+    ops.iadd(c21, b22)            # C21 = U4 = U3 + P7
+    ops.iadd(c11, a22)            # C11 = U1 = P1 + P2
+
+
 def multiply_morton(
     a: MortonMatrix,
     b: MortonMatrix,
@@ -139,12 +313,17 @@ def multiply_morton(
     """Convenience wrapper: allocate C, run the recursion.
 
     With the default arithmetic backend the call routes through the
-    default session's pooled per-geometry workspace
+    default session's pooled per-geometry workspace *and output buffer*
     (:meth:`repro.engine.GemmSession.multiply_morton`) instead of
-    allocating fresh scratch per call; a custom ``ops`` backend (e.g. the
-    trace emitter) cannot share pooled numeric scratch and keeps the
-    direct path.
+    allocating fresh scratch per call — the returned matrix stays valid
+    until the next same-geometry call, so copy it to keep results across
+    calls.  A custom ``ops`` backend (e.g. the trace emitter) cannot
+    share pooled numeric scratch and keeps the direct allocating path.
     """
+    if ops is None:
+        from ..engine.session import default_session  # avoid import cycle
+
+        return default_session().multiply_morton(a, b)
     c = MortonMatrix(
         buf=np.empty(
             (a.tile_r << a.depth) * (b.tile_c << b.depth), dtype=np.float64
@@ -155,8 +334,4 @@ def multiply_morton(
         tile_c=b.tile_c,
         depth=a.depth,
     )
-    if ops is None:
-        from ..engine.session import default_session  # avoid import cycle
-
-        return default_session().multiply_morton(a, b, c)
     return winograd_multiply(a, b, c, ops=ops)

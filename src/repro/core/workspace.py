@@ -1,12 +1,26 @@
 """Preallocated scratch buffers for the Strassen recursions.
 
-Each level of the Winograd recursion needs three quarter-size scratch
-matrices (S for A-shaped sums, T for B-shaped sums, P for one C-shaped
-product); the original Strassen variant needs a fourth (Q, C-shaped).
-Because the seven recursive products at a level execute sequentially, the
-deeper levels can all share one set of buffers — so total scratch is a
-geometric series bounded by ~1/3 of the operand sizes per shape, allocated
-once up front rather than churned per recursive call.
+Each level of the classic Winograd recursion needs three quarter-size
+scratch matrices (S for A-shaped sums, T for B-shaped sums, P for one
+C-shaped product); the original Strassen variant needs a fourth (Q,
+C-shaped).  Because the seven recursive products at a level execute
+sequentially, the deeper levels can all share one set of buffers — so
+total scratch is a geometric series bounded by ~1/3 of the operand sizes
+per shape, allocated once up front rather than churned per recursive call.
+
+The low-memory schedules of Boyer, Dumas, Pernet & Zhou shrink the per
+level footprint further:
+
+* ``two_temp`` keeps only two temporaries per level — one A-shaped X and
+  one B-shaped Y — and lets the C quadrants hold the products directly.
+  X also has to hold one C-shaped product (P1), so its backing buffer is
+  sized ``max(|A quarter|, |C quarter|)`` and exposed through two aliased
+  Morton views (``s`` A-shaped, ``p`` C-shaped).
+* ``ip_overwrite`` needs **no** scratch at all: the recursion clobbers the
+  A and B quadrants themselves.
+
+``Workspace.nbytes`` reports the true allocation (aliased views counted
+once); ``total_bytes`` is kept as a backwards-compatible alias.
 """
 
 from __future__ import annotations
@@ -15,13 +29,34 @@ import numpy as np
 
 from ..layout.matrix import MortonMatrix
 
-__all__ = ["Workspace"]
+__all__ = ["Workspace", "WORKSPACE_SCHEDULES"]
+
+#: Scratch layouts a :class:`Workspace` can be built for.
+WORKSPACE_SCHEDULES = ("classic", "two_temp", "ip_overwrite")
+
+
+def _view(buf: np.ndarray, depth: int, tile_r: int, tile_c: int) -> MortonMatrix:
+    n = (tile_r << depth) * (tile_c << depth)
+    return MortonMatrix(
+        buf=buf[:n],
+        rows=tile_r << depth,
+        cols=tile_c << depth,
+        tile_r=tile_r,
+        tile_c=tile_c,
+        depth=depth,
+    )
 
 
 class _Level:
-    """Scratch Morton matrices for one recursion level."""
+    """Scratch Morton matrices for one recursion level.
 
-    __slots__ = ("s", "t", "p", "q")
+    ``classic``: ``s``/``t``/``p`` (and ``q`` when ``with_q``) are four
+    independent buffers.  ``two_temp``: ``s`` and ``p`` are two views of
+    the *same* buffer (the schedule never needs both shapes live at once);
+    ``q`` is ``None``.  ``ip_overwrite`` levels are never built.
+    """
+
+    __slots__ = ("s", "t", "p", "q", "nbytes")
 
     def __init__(
         self,
@@ -30,22 +65,31 @@ class _Level:
         tiles_b: tuple[int, int],
         tiles_c: tuple[int, int],
         with_q: bool,
+        schedule: str,
     ) -> None:
-        def make(tile_r: int, tile_c: int) -> MortonMatrix:
-            n = (tile_r << depth) * (tile_c << depth)
-            return MortonMatrix(
-                buf=np.empty(n, dtype=np.float64),
-                rows=tile_r << depth,
-                cols=tile_c << depth,
-                tile_r=tile_r,
-                tile_c=tile_c,
-                depth=depth,
-            )
+        def elems(tile_r: int, tile_c: int) -> int:
+            return (tile_r << depth) * (tile_c << depth)
 
-        self.s = make(*tiles_a)
-        self.t = make(*tiles_b)
-        self.p = make(*tiles_c)
-        self.q = make(*tiles_c) if with_q else None
+        if schedule == "two_temp":
+            x = np.empty(max(elems(*tiles_a), elems(*tiles_c)), dtype=np.float64)
+            y = np.empty(elems(*tiles_b), dtype=np.float64)
+            self.s = _view(x, depth, *tiles_a)
+            self.t = _view(y, depth, *tiles_b)
+            self.p = _view(x, depth, *tiles_c)  # aliases s — by design
+            self.q = None
+            self.nbytes = x.nbytes + y.nbytes
+        else:
+            self.s = _view(np.empty(elems(*tiles_a), dtype=np.float64), depth, *tiles_a)
+            self.t = _view(np.empty(elems(*tiles_b), dtype=np.float64), depth, *tiles_b)
+            self.p = _view(np.empty(elems(*tiles_c), dtype=np.float64), depth, *tiles_c)
+            self.q = (
+                _view(np.empty(elems(*tiles_c), dtype=np.float64), depth, *tiles_c)
+                if with_q
+                else None
+            )
+            self.nbytes = self.s.buf.nbytes + self.t.buf.nbytes + self.p.buf.nbytes
+            if self.q is not None:
+                self.nbytes += self.q.buf.nbytes
 
 
 class Workspace:
@@ -54,6 +98,9 @@ class Workspace:
     ``levels[j]`` serves the recursion level whose *children* have depth
     ``d - 1 - j`` (i.e. the scratch matrices at ``levels[j]`` are quarter
     matrices of a depth-``d - j`` problem).
+
+    ``schedule`` selects the per-level layout (see module docstring); an
+    ``ip_overwrite`` workspace owns no levels and no bytes.
     """
 
     def __init__(
@@ -63,28 +110,45 @@ class Workspace:
         tile_k: int,
         tile_n: int,
         with_q: bool = False,
+        schedule: str = "classic",
     ) -> None:
-        self.depth = depth
-        self.levels = [
-            _Level(
-                d,
-                tiles_a=(tile_m, tile_k),
-                tiles_b=(tile_k, tile_n),
-                tiles_c=(tile_m, tile_n),
-                with_q=with_q,
+        if schedule not in WORKSPACE_SCHEDULES:
+            raise ValueError(
+                f"unknown workspace schedule {schedule!r}; "
+                f"expected one of {WORKSPACE_SCHEDULES}"
             )
-            for d in range(depth - 1, -1, -1)
-        ]
+        if with_q and schedule != "classic":
+            raise ValueError(
+                "with_q (Strassen's Q buffer) is only meaningful for the "
+                f"classic schedule, not {schedule!r}"
+            )
+        self.depth = depth
+        self.schedule = schedule
+        if schedule == "ip_overwrite":
+            self.levels = []
+        else:
+            self.levels = [
+                _Level(
+                    d,
+                    tiles_a=(tile_m, tile_k),
+                    tiles_b=(tile_k, tile_n),
+                    tiles_c=(tile_m, tile_n),
+                    with_q=with_q,
+                    schedule=schedule,
+                )
+                for d in range(depth - 1, -1, -1)
+            ]
 
     def at(self, child_depth: int) -> _Level:
         """Scratch whose matrices have the given (child) depth."""
         return self.levels[self.depth - 1 - child_depth]
 
     @property
+    def nbytes(self) -> int:
+        """Bytes actually allocated (aliased two_temp views counted once)."""
+        return sum(lv.nbytes for lv in self.levels)
+
+    @property
     def total_bytes(self) -> int:
-        total = 0
-        for lv in self.levels:
-            total += lv.s.buf.nbytes + lv.t.buf.nbytes + lv.p.buf.nbytes
-            if lv.q is not None:
-                total += lv.q.buf.nbytes
-        return total
+        """Backwards-compatible alias for :attr:`nbytes`."""
+        return self.nbytes

@@ -25,6 +25,7 @@ cache for free while staying behaviour-identical.
 """
 
 from ..core.scheduler import Schedule, WorkerPool
+from ..core.winograd import MEMORY_SCHEDULES, resolve_memory
 from .plan import CompiledPlan, PlanKey, resolve_variant, VARIANTS
 from .session import (
     GemmSession,
@@ -44,4 +45,6 @@ __all__ = [
     "reset_default_session",
     "resolve_variant",
     "VARIANTS",
+    "MEMORY_SCHEDULES",
+    "resolve_memory",
 ]

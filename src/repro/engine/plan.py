@@ -43,7 +43,7 @@ from ..core.rectangular import plan_panels
 from ..core.scheduler import Schedule, TaskGraph
 from ..core.strassen import strassen_multiply
 from ..core.truncation import TruncationPolicy
-from ..core.winograd import winograd_multiply
+from ..core.winograd import resolve_memory, winograd_multiply
 from ..core.workspace import Workspace
 from ..errors import KernelError, PlanError, ShapeError
 from ..layout.convert import ConversionTable, dense_to_morton, morton_to_dense
@@ -93,7 +93,8 @@ class PlanKey:
     logical GEMM dimensions, both transposition flags, the truncation
     policy, the resolved leaf kernel (by identity — named kernels resolve
     to module-level functions, so equal names compare equal), the
-    recursion variant, and the execution :class:`Schedule`.
+    recursion variant, the execution :class:`Schedule`, and the memory
+    schedule (see :data:`repro.core.winograd.MEMORY_SCHEDULES`).
     ``alpha``/``beta`` are deliberately absent: scaling is
     post-processing and shares buffers freely.
     """
@@ -107,6 +108,7 @@ class PlanKey:
     kernel: LeafKernel
     variant: str
     schedule: Schedule
+    memory: str = "classic"
 
     @property
     def parallel(self) -> bool:
@@ -158,7 +160,7 @@ class _ExecExtras:
 
     __slots__ = (
         "tasks_run", "worker_busy", "graph_wall", "pool_workers",
-        "indexed_conversions", "convert_seconds_saved",
+        "indexed_conversions", "convert_seconds_saved", "fused_adds",
     )
 
     def __init__(self) -> None:
@@ -168,6 +170,7 @@ class _ExecExtras:
         self.pool_workers = 0
         self.indexed_conversions = 0
         self.convert_seconds_saved = 0.0
+        self.fused_adds = 0
 
 
 class CompiledPlan:
@@ -193,6 +196,7 @@ class CompiledPlan:
         self._workspace: Workspace | None = None
         self._tscratch: TaskScratch | None = None
         self._graph: TaskGraph | None = None
+        self._rezero_operands = False
         self._sites: dict[str, _ConvertSite] = {}
         self._panels = None
         self._panel_plans = None
@@ -206,12 +210,26 @@ class CompiledPlan:
     def _compile_well_behaved(self) -> None:
         tm, tk, tn = self.tilings
         key = self.key
+        memory = resolve_memory(key.memory)
+        if memory == "ip_overwrite" and tm.depth > 0 and not (
+            tm.tile == tk.tile == tn.tile
+        ):
+            raise PlanError(
+                "memory='ip_overwrite' needs uniform tile geometry; the "
+                f"policy chose tiles {tm.tile}/{tk.tile}/{tn.tile} for "
+                f"{key.m}x{key.k}x{key.n}"
+            )
         # Operand pads are zeroed here, once; every later conversion uses
         # zero_pad=False and writes only the logical region.
         self._a_mm = MortonMatrix.zeros(key.m, key.k, tm, tk)
         self._b_mm = MortonMatrix.zeros(key.k, key.n, tk, tn)
         self._c_mm = MortonMatrix.empty(key.m, key.n, tm, tn)
         self.buffers_allocated += 3
+        # ip_overwrite leaves garbage in the operand pads after every
+        # execution; such plans must re-zero A/B before each conversion.
+        self._rezero_operands = memory == "ip_overwrite" and (
+            self._a_mm.size > key.m * key.k or self._b_mm.size > key.k * key.n
+        )
         depth = tm.depth
         sched = key.schedule
         if sched.parallel and depth >= 1:
@@ -219,17 +237,24 @@ class CompiledPlan:
                 tm.tile, tk.tile, tn.tile, depth,
                 parallel_depth=sched.depth,
                 workers=sched.workers or self.session._pool_size(),
+                memory=memory,
             )
             self.buffers_allocated += self._tscratch.buffer_count
             self._graph = build_winograd_graph(
                 self._a_mm, self._b_mm, self._c_mm, self._tscratch,
                 ops=self._ops,
             )
-        else:
+        elif memory == "two_temp":
+            self._workspace = Workspace(
+                depth, tm.tile, tk.tile, tn.tile, schedule="two_temp"
+            )
+            self.buffers_allocated += 2 * depth
+        elif memory == "classic":
             self._workspace = Workspace(
                 depth, tm.tile, tk.tile, tn.tile, with_q=True
             )
             self.buffers_allocated += 4 * depth
+        # ip_overwrite: no workspace at all.
         if depth >= CONVERT_TABLE_MIN_DEPTH:
             for name, mm in (("a", self._a_mm), ("b", self._b_mm),
                              ("c", self._c_mm)):
@@ -262,6 +287,7 @@ class CompiledPlan:
                         kernel=key.kernel,
                         variant=key.variant,
                         schedule=key.schedule,
+                        memory=key.memory,
                     )
                 )
 
@@ -355,10 +381,17 @@ class CompiledPlan:
     ) -> np.ndarray:
         key = self.key
         with self._lock:
+            fused0 = self._ops.fused_adds
             pool = workers = None
             if self._graph is not None:
                 pool = self.session._ensure_pool()
                 workers = pool.workers
+            if self._rezero_operands:
+                # A previous ip_overwrite execution left garbage in the
+                # operand pads; the zero_pad=False conversion below only
+                # rewrites logical elements.
+                self._a_mm.buf.fill(0.0)
+                self._b_mm.buf.fill(0.0)
             t0 = time.perf_counter()
             self._convert_site(
                 "a", extras,
@@ -392,6 +425,7 @@ class CompiledPlan:
                 winograd_multiply(
                     self._a_mm, self._b_mm, self._c_mm,
                     ops=self._ops, workspace=self._workspace,
+                    memory=key.memory,
                 )
             else:
                 strassen_multiply(
@@ -409,6 +443,8 @@ class CompiledPlan:
             )
             d = out[0]
             t3 = time.perf_counter()
+            if extras is not None:
+                extras.fused_adds += self._ops.fused_adds - fused0
         rec.to_morton += t1 - t0
         rec.compute += t2 - t1
         rec.from_morton += t3 - t2
@@ -438,6 +474,39 @@ class CompiledPlan:
         return d
 
     # ----------------------------------------------------------- accounting
+
+    @property
+    def scratch_bytes(self) -> int:
+        """Recursion scratch bytes this plan holds (workspace/task scratch).
+
+        Excludes the Morton operand/product buffers and conversion tables
+        — this is exactly the *extra* memory the selected ``memory``
+        schedule is accountable for: the geometric series over recursion
+        levels (classic ``|A|/4 + |B|/4 + 2|C|/4`` per level, two_temp
+        ``max(|A|,|C|)/4 + |B|/4``, ip_overwrite zero), or the task-DAG
+        expansion tree plus leaf workspace pool for parallel plans.
+        Panelled plans report the sum over their distinct sub-plans.
+        """
+        if self.tilings is None:
+            seen: set[int] = set()
+            total = 0
+            for sub in self._panel_plans or ():
+                if sub is not None and id(sub) not in seen:
+                    seen.add(id(sub))
+                    total += sub.scratch_bytes
+            return total
+        if self._tscratch is not None:
+            return self._tscratch.total_bytes
+        if self._workspace is not None:
+            return self._workspace.nbytes
+        return 0
+
+    @property
+    def _own_scratch_bytes(self) -> int:
+        """Scratch this plan itself holds (sub-plans account separately)."""
+        if self.tilings is None:
+            return 0
+        return self.scratch_bytes
 
     @property
     def pooled_bytes(self) -> int:

@@ -44,7 +44,7 @@ from ..core.ops import NumpyOps
 from ..core.scheduler import Schedule, WorkerPool
 from ..core.strassen import strassen_multiply
 from ..core.truncation import TruncationPolicy
-from ..core.winograd import winograd_multiply
+from ..core.winograd import resolve_memory, winograd_multiply
 from ..core.workspace import Workspace
 from ..errors import PlanError
 from ..layout.matrix import MortonMatrix
@@ -78,6 +78,13 @@ class SessionStats:
     ``indexed_conversions`` (conversions served by a precomputed index
     table) and ``convert_seconds_saved`` (their summed time saved against
     each site's measured tile-loop baseline).
+
+    The memory-schedule accounting adds ``scratch_bytes_allocated``
+    (cumulative recursion-scratch bytes allocated over the session's
+    lifetime — workspace levels and task-DAG scratch, excluding operand
+    buffers), ``peak_scratch_bytes`` (high-water mark of *live* scratch
+    across cached plans and pooled workspaces) and ``fused_adds``
+    (``add3`` passes executed by low-memory schedules).
     """
 
     plan_hits: int = 0
@@ -95,6 +102,9 @@ class SessionStats:
     worker_utilization: float = 0.0
     indexed_conversions: int = 0
     convert_seconds_saved: float = 0.0
+    scratch_bytes_allocated: int = 0
+    peak_scratch_bytes: int = 0
+    fused_adds: int = 0
 
 
 class GemmSession:
@@ -105,12 +115,17 @@ class GemmSession:
     capacity:
         Maximum number of cached plans (and, separately, pooled Morton
         workspaces).  Least-recently-used entries are evicted beyond it.
-    policy, kernel, variant, schedule:
+    policy, kernel, variant, schedule, memory:
         Session-wide defaults for :meth:`multiply` /:meth:`plan`; each call
         may override them.  They accept the same string-or-object forms as
         :func:`repro.modgemm`; ``schedule`` additionally accepts
         ``"tasks:D"`` / ``"tasks:DxW"`` strings (see
-        :meth:`Schedule.coerce`).
+        :meth:`Schedule.coerce`).  ``memory`` selects the recursion's
+        memory schedule — ``"classic"`` (default), ``"two_temp"`` (Boyer
+        et al. two-temporary: ~half the scratch, bit-identical results)
+        or ``"ip_overwrite"`` (zero scratch; clobbers the *internal*
+        Morton operand copies, so dense-level results are unchanged, but
+        requires uniform tile geometry and a sequential schedule).
     max_workers:
         Size of the session's worker pool (created lazily on the first
         ``tasks``-schedule execution).  Defaults to
@@ -129,6 +144,7 @@ class GemmSession:
         schedule: "Schedule | str | None" = None,
         max_workers: int | None = None,
         pool: WorkerPool | None = None,
+        memory: "str | None" = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -139,6 +155,10 @@ class GemmSession:
         self.default_kernel = get_kernel(kernel)
         self.default_variant = resolve_variant(variant)
         self.default_schedule = Schedule.coerce(schedule)
+        try:
+            self.default_memory = resolve_memory(memory)
+        except ValueError as exc:
+            raise PlanError(str(exc)) from None
         self.max_workers = max_workers
         self._pool = pool
         self._owns_pool = False
@@ -159,6 +179,10 @@ class GemmSession:
         self._worker_capacity = 0.0
         self._indexed_conversions = 0
         self._convert_saved = 0.0
+        self._scratch_allocated = 0
+        self._scratch_live = 0
+        self._scratch_peak = 0
+        self._fused_adds = 0
 
     # ---------------------------------------------------------- worker pool
 
@@ -193,6 +217,7 @@ class GemmSession:
                 self._owns_pool = False
             self._plans.clear()
             self._workspaces.clear()
+            self._scratch_live = 0
         if owned and pool is not None:
             pool.shutdown()
 
@@ -216,10 +241,12 @@ class GemmSession:
         variant: "str | None" = None,
         parallel: bool = False,
         schedule: "Schedule | str | None" = None,
+        memory: "str | None" = None,
     ) -> CompiledPlan:
         """Return the cached plan for a geometry, compiling it on a miss."""
         key = self._make_key(
-            m, k, n, op_a, op_b, policy, kernel, variant, parallel, schedule
+            m, k, n, op_a, op_b, policy, kernel, variant, parallel, schedule,
+            memory,
         )
         with self._lock:
             plan = self._plans.get(key)
@@ -232,14 +259,24 @@ class GemmSession:
             plan = CompiledPlan(key, self)
             plan._cache_hit = False
             self._buffers_allocated += plan.buffers_allocated
+            self._track_scratch_alloc(plan._own_scratch_bytes)
             self._plans[key] = plan
             while len(self._plans) > self.capacity:
-                self._plans.popitem(last=False)
+                _, evicted = self._plans.popitem(last=False)
+                self._scratch_live -= evicted._own_scratch_bytes
                 self._evictions += 1
             return plan
 
+    def _track_scratch_alloc(self, nbytes: int) -> None:
+        """Record newly allocated recursion scratch (caller holds the lock)."""
+        self._scratch_allocated += nbytes
+        self._scratch_live += nbytes
+        if self._scratch_live > self._scratch_peak:
+            self._scratch_peak = self._scratch_live
+
     def _make_key(
-        self, m, k, n, op_a, op_b, policy, kernel, variant, parallel, schedule
+        self, m, k, n, op_a, op_b, policy, kernel, variant, parallel, schedule,
+        memory=None,
     ) -> PlanKey:
         variant = (
             self.default_variant if variant is None else resolve_variant(variant)
@@ -254,6 +291,24 @@ class GemmSession:
                 "task-scheduled execution supports only the winograd "
                 f"variant; got variant={variant!r}"
             )
+        if memory is None:
+            mem = self.default_memory
+        else:
+            try:
+                mem = resolve_memory(memory)
+            except ValueError as exc:
+                raise PlanError(str(exc)) from None
+        if mem != "classic" and variant != "winograd":
+            raise PlanError(
+                f"memory={mem!r} is a Winograd schedule; "
+                f"variant={variant!r} supports only memory='classic'"
+            )
+        if mem == "ip_overwrite" and sched.parallel:
+            raise PlanError(
+                "memory='ip_overwrite' cannot run on the task scheduler "
+                "(leaf recursions would clobber shared operand quadrants); "
+                "use memory='two_temp' for a low-memory parallel schedule"
+            )
         return PlanKey(
             m=int(m),
             k=int(k),
@@ -265,6 +320,7 @@ class GemmSession:
             kernel=self.default_kernel if kernel is None else get_kernel(kernel),
             variant=variant,
             schedule=sched,
+            memory=mem,
         )
 
     # ------------------------------------------------------------ execution
@@ -284,13 +340,15 @@ class GemmSession:
         parallel: bool = False,
         schedule: "Schedule | str | None" = None,
         timings: PhaseTimings | None = None,
+        memory: "str | None" = None,
     ) -> np.ndarray:
         """``C <- alpha * op(A) . op(B) + beta * C`` through the plan cache.
 
         Identical contract (and bit-identical results) to
         :func:`repro.modgemm`; repeated same-geometry calls skip planning
         and buffer allocation entirely.  ``schedule`` selects the execution
-        mode (all modes produce bit-identical results).
+        mode and ``memory`` the recursion's scratch schedule (all modes
+        produce bit-identical results).
         """
         p = GemmProblem.create(
             a, b, op_a=op_a, op_b=op_b, alpha=alpha, beta=beta, c=c
@@ -298,7 +356,7 @@ class GemmSession:
         plan = self.plan(
             p.m, p.k, p.n, op_a=p.op_a, op_b=p.op_b,
             policy=policy, kernel=kernel, variant=variant,
-            parallel=parallel, schedule=schedule,
+            parallel=parallel, schedule=schedule, memory=memory,
         )
         return plan.execute_problem(p, c=c, timings=timings)
 
@@ -340,19 +398,47 @@ class GemmSession:
         kernel: "str | LeafKernel | None" = None,
         variant: "str | None" = None,
         workspace: Workspace | None = None,
+        memory: "str | None" = None,
     ) -> MortonMatrix:
         """Multiply operands already in Morton order (Figure 8 regime).
 
-        Pools the recursion :class:`Workspace` per geometry when the caller
-        does not supply one; an explicit ``workspace`` bypasses the pool
-        (and its lock) exactly as the historical API did.
+        Pools the recursion :class:`Workspace` *and the output buffer* per
+        geometry when the caller supplies neither: with ``c_mm=None`` the
+        result is written into a pooled buffer that stays valid until the
+        next same-geometry call with ``c_mm=None`` — copy it (or pass your
+        own ``c_mm``) to keep results across calls.  An explicit
+        ``workspace`` bypasses the pool (and its lock) exactly as the
+        historical API did.  With ``memory="ip_overwrite"`` the caller's
+        ``a_mm``/``b_mm`` buffers are destroyed.
         """
         variant = (
             self.default_variant if variant is None else resolve_variant(variant)
         )
         kern = self.default_kernel if kernel is None else get_kernel(kernel)
-        if c_mm is None:
-            c_mm = MortonMatrix(
+        if memory is None:
+            mem = self.default_memory
+        else:
+            try:
+                mem = resolve_memory(memory)
+            except ValueError as exc:
+                raise PlanError(str(exc)) from None
+        if mem != "classic" and variant != "winograd":
+            raise PlanError(
+                f"memory={mem!r} is a Winograd schedule; "
+                f"variant={variant!r} supports only memory='classic'"
+            )
+        ops = NumpyOps(kern)
+
+        def run(c: MortonMatrix, ws: Workspace | None) -> None:
+            if variant == "winograd":
+                winograd_multiply(
+                    a_mm, b_mm, c, ops=ops, workspace=ws, memory=mem
+                )
+            else:
+                strassen_multiply(a_mm, b_mm, c, ops=ops, workspace=ws)
+
+        def fresh_c() -> MortonMatrix:
+            return MortonMatrix(
                 buf=np.empty(
                     (a_mm.tile_r << a_mm.depth) * (b_mm.tile_c << b_mm.depth),
                     dtype=np.float64,
@@ -363,22 +449,47 @@ class GemmSession:
                 tile_c=b_mm.tile_c,
                 depth=a_mm.depth,
             )
-        ops = NumpyOps(kern)
-        multiply = winograd_multiply if variant == "winograd" else strassen_multiply
+
         if workspace is not None:
-            multiply(a_mm, b_mm, c_mm, ops=ops, workspace=workspace)
+            if c_mm is None:
+                c_mm = fresh_c()
+            run(c_mm, workspace)
+            self._fold_fused(ops)
             return c_mm
-        ws, ws_lock = self._pooled_workspace(
-            a_mm.depth, a_mm.tile_r, a_mm.tile_c, b_mm.tile_c
+        ws, ws_lock, c_buf = self._pooled_workspace(
+            a_mm.depth, a_mm.tile_r, a_mm.tile_c, b_mm.tile_c, mem
         )
         with ws_lock:
-            multiply(a_mm, b_mm, c_mm, ops=ops, workspace=ws)
+            if c_mm is None:
+                # Wrap the pooled buffer with this call's logical shape
+                # (same padded geometry can serve many logical sizes).
+                c_mm = MortonMatrix(
+                    buf=c_buf,
+                    rows=a_mm.rows,
+                    cols=b_mm.cols,
+                    tile_r=a_mm.tile_r,
+                    tile_c=b_mm.tile_c,
+                    depth=a_mm.depth,
+                )
+            run(c_mm, ws)
+        self._fold_fused(ops)
         return c_mm
 
+    def _fold_fused(self, ops: NumpyOps) -> None:
+        """Fold one backend's fused-pass counter into the session's."""
+        if ops.fused_adds:
+            with self._lock:
+                self._fused_adds += ops.fused_adds
+
     def _pooled_workspace(
-        self, depth: int, tile_m: int, tile_k: int, tile_n: int
-    ) -> tuple[Workspace, threading.Lock]:
-        geom = (depth, tile_m, tile_k, tile_n)
+        self,
+        depth: int,
+        tile_m: int,
+        tile_k: int,
+        tile_n: int,
+        memory: str = "classic",
+    ) -> tuple["Workspace | None", threading.Lock, np.ndarray]:
+        geom = (depth, tile_m, tile_k, tile_n, memory)
         with self._lock:
             entry = self._workspaces.get(geom)
             if entry is not None:
@@ -387,14 +498,25 @@ class GemmSession:
                 self._buffers_reused += 1
                 return entry
             self._misses += 1
-            entry = (
-                Workspace(depth, tile_m, tile_k, tile_n, with_q=True),
-                threading.Lock(),
+            if memory == "two_temp":
+                ws = Workspace(depth, tile_m, tile_k, tile_n, schedule="two_temp")
+                self._buffers_allocated += 2 * depth
+            elif memory == "ip_overwrite":
+                ws = None
+            else:
+                ws = Workspace(depth, tile_m, tile_k, tile_n, with_q=True)
+                self._buffers_allocated += 4 * depth
+            c_buf = np.empty(
+                (tile_m << depth) * (tile_n << depth), dtype=np.float64
             )
-            self._buffers_allocated += 4 * depth
+            self._buffers_allocated += 1
+            self._track_scratch_alloc(ws.nbytes if ws is not None else 0)
+            entry = (ws, threading.Lock(), c_buf)
             self._workspaces[geom] = entry
             while len(self._workspaces) > self.capacity:
-                self._workspaces.popitem(last=False)
+                _, (old_ws, _, _) = self._workspaces.popitem(last=False)
+                if old_ws is not None:
+                    self._scratch_live -= old_ws.nbytes
                 self._evictions += 1
             return entry
 
@@ -422,12 +544,16 @@ class GemmSession:
                     )
                 self._indexed_conversions += extras.indexed_conversions
                 self._convert_saved += extras.convert_seconds_saved
+                self._fused_adds += extras.fused_adds
 
     def stats(self) -> SessionStats:
         """A consistent snapshot of the instrumentation counters."""
         with self._lock:
             pooled = sum(p.pooled_bytes for p in self._plans.values())
-            pooled += sum(ws.total_bytes for ws, _ in self._workspaces.values())
+            for ws, _, c_buf in self._workspaces.values():
+                pooled += c_buf.nbytes
+                if ws is not None:
+                    pooled += ws.nbytes
             agg = PhaseTimings(
                 to_morton=self._timings.to_morton,
                 compute=self._timings.compute,
@@ -455,6 +581,9 @@ class GemmSession:
                 worker_utilization=util,
                 indexed_conversions=self._indexed_conversions,
                 convert_seconds_saved=self._convert_saved,
+                scratch_bytes_allocated=self._scratch_allocated,
+                peak_scratch_bytes=self._scratch_peak,
+                fused_adds=self._fused_adds,
             )
 
     def clear(self) -> None:
@@ -462,6 +591,7 @@ class GemmSession:
         with self._lock:
             self._plans.clear()
             self._workspaces.clear()
+            self._scratch_live = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.stats()

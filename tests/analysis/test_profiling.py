@@ -43,3 +43,57 @@ class TestHotspotTable:
         rows = profile_call(busy, top=3)
         table = hotspot_table(rows)
         assert "own_s" in table and "function" in table
+
+
+class TestMeasurePeak:
+    def test_returns_result_and_bytes(self):
+        import numpy as np
+
+        from repro.analysis.profiling import measure_peak
+
+        result, peak = measure_peak(lambda: np.ones(1 << 16).sum())
+        assert result == float(1 << 16)
+        # The 512 KiB array must dominate the measured peak.
+        assert peak >= (1 << 16) * 8
+
+    def test_small_allocation_small_peak(self):
+        from repro.analysis.profiling import measure_peak
+
+        _, tiny = measure_peak(lambda: [0] * 10)
+        assert tiny < 1 << 16
+
+    def test_stops_tracing_it_started(self):
+        import tracemalloc
+
+        from repro.analysis.profiling import measure_peak
+
+        assert not tracemalloc.is_tracing()
+        measure_peak(lambda: None)
+        assert not tracemalloc.is_tracing()
+
+    def test_nested_reuses_active_trace(self):
+        import tracemalloc
+
+        from repro.analysis.profiling import measure_peak
+
+        tracemalloc.start()
+        try:
+            _, peak = measure_peak(lambda: bytearray(1 << 16))
+            assert peak >= 1 << 16
+            assert tracemalloc.is_tracing()  # left running for the owner
+        finally:
+            tracemalloc.stop()
+
+    def test_exception_still_stops_tracing(self):
+        import tracemalloc
+
+        import pytest as _pytest
+
+        from repro.analysis.profiling import measure_peak
+
+        def boom():
+            raise RuntimeError("x")
+
+        with _pytest.raises(RuntimeError):
+            measure_peak(boom)
+        assert not tracemalloc.is_tracing()

@@ -55,6 +55,53 @@ class TestShapeValidation:
         with pytest.raises(ValueError):
             naive_matmul(np.zeros((2, 3)), np.zeros((3, 2)), np.zeros((3, 3)))
 
+    def test_mismatch_raises_typed_shape_error(self):
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            blocked_matmul(np.zeros((2, 3)), np.zeros((4, 2)), np.zeros((2, 2)))
+        with pytest.raises(ShapeError):
+            naive_matmul(np.zeros((2, 3)), np.zeros((3, 2)), np.zeros((3, 3)))
+
+
+class TestAccumulateScratchBound:
+    def test_small_requests_are_cached(self):
+        from repro.blas import kernels
+
+        buf1 = kernels._accumulate_scratch(1024)
+        buf2 = kernels._accumulate_scratch(512)
+        assert np.shares_memory(buf1, buf2)
+
+    def test_oversized_requests_not_pinned(self):
+        from repro.blas import kernels
+
+        cached_before = getattr(kernels._acc_scratch, "buf", None)
+        big = kernels._accumulate_scratch(kernels._ACC_SCRATCH_MAX_ELEMS + 1)
+        assert big.size == kernels._ACC_SCRATCH_MAX_ELEMS + 1
+        cached_after = getattr(kernels._acc_scratch, "buf", None)
+        # The thread-local buffer is unchanged by the oversized request.
+        if cached_before is None:
+            assert cached_after is None or (
+                cached_after.size <= kernels._ACC_SCRATCH_MAX_ELEMS
+            )
+        else:
+            assert cached_after is cached_before
+
+    def test_oversized_accumulate_still_correct(self, rng):
+        # End-to-end through the numpy kernel's accumulate path.
+        from repro.blas import kernels
+
+        orig = kernels._ACC_SCRATCH_MAX_ELEMS
+        kernels._ACC_SCRATCH_MAX_ELEMS = 16  # force the transient path
+        try:
+            a = rng.standard_normal((8, 8))
+            b = rng.standard_normal((8, 8))
+            out = np.asfortranarray(np.ones((8, 8)))
+            leaf_matmul(a, b, out, accumulate=True)
+            assert np.allclose(out, 1.0 + a @ b)
+        finally:
+            kernels._ACC_SCRATCH_MAX_ELEMS = orig
+
 
 class TestBlocking:
     def test_block_size_does_not_change_result(self, rng):

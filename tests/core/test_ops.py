@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.ops import NumpyOps
+from repro.core.ops import FUSE_CHUNK_ELEMS, NumpyOps
 from repro.layout.matrix import MortonMatrix
 from repro.layout.padding import Tiling
 
@@ -41,6 +41,66 @@ class TestVectorOps:
             ops.add(leaf(4, 4), leaf(4, 4), leaf(4, 5))
         with pytest.raises(ValueError):
             ops.iadd(leaf(4, 4), leaf(3, 3))
+        with pytest.raises(ValueError):
+            ops.add3(leaf(4, 4), leaf(4, 4), leaf(4, 4), leaf(4, 5))
+        with pytest.raises(ValueError):
+            ops.sub_into(leaf(4, 4), leaf(3, 3))
+
+
+class TestFusedOps:
+    def test_add3_basic(self):
+        ops = NumpyOps()
+        x, y, z, d = leaf(4, 4, 1.0), leaf(4, 4, 2.0), leaf(4, 4, 4.0), leaf(4, 4)
+        ops.add3(d, x, y, z)
+        assert np.all(d.buf == 7.0)
+        assert ops.fused_adds == 1
+
+    def test_add3_matches_unfused_bitwise(self, rng):
+        n = 16
+        vals = [rng.standard_normal(n * n) * 10.0**e for e in (-8, 0, 8)]
+        mats = []
+        for v in vals:
+            m = leaf(n, n)
+            m.buf[:] = v
+            mats.append(m)
+        x, y, z = mats
+        fused, staged = leaf(n, n), leaf(n, n)
+        ops = NumpyOps()
+        ops.add3(fused, x, y, z)
+        ops.add(staged, x, y)
+        ops.iadd(staged, z)
+        assert np.array_equal(fused.buf, staged.buf)
+
+    def test_add3_spans_multiple_chunks(self, rng):
+        # A buffer larger than one fuse chunk exercises the chunk loop.
+        edge = 1
+        while edge * edge <= FUSE_CHUNK_ELEMS:
+            edge *= 2
+        x, y, z, d = (leaf(edge, edge) for _ in range(4))
+        x.buf[:] = rng.standard_normal(x.buf.size)
+        y.buf[:] = rng.standard_normal(y.buf.size)
+        z.buf[:] = rng.standard_normal(z.buf.size)
+        NumpyOps().add3(d, x, y, z)
+        assert np.array_equal(d.buf, (x.buf + y.buf) + z.buf)
+
+    def test_add3_dst_may_alias_any_operand(self, rng):
+        for alias in range(3):
+            bufs = [rng.standard_normal(64) for _ in range(3)]
+            mats = []
+            for v in bufs:
+                m = leaf(8, 8)
+                m.buf[:] = v
+                mats.append(m)
+            expect = (bufs[0] + bufs[1]) + bufs[2]
+            NumpyOps().add3(mats[alias], mats[0], mats[1], mats[2])
+            assert np.array_equal(mats[alias].buf, expect)
+
+    def test_sub_into(self):
+        ops = NumpyOps()
+        d, x = leaf(4, 4, 2.0), leaf(4, 4, 7.0)
+        ops.sub_into(d, x)  # d = x - d
+        assert np.all(d.buf == 5.0)
+        assert ops.fused_adds == 0  # sub_into is a plain pass, not a fusion
 
 
 class TestLeafMult:

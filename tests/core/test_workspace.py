@@ -1,5 +1,6 @@
 """Unit tests for the recursion workspace."""
 
+import numpy as np
 import pytest
 
 from repro.core.workspace import Workspace
@@ -40,3 +41,44 @@ class TestGeometry:
         full = (8 << 4) * (8 << 4) * 8
         assert ws.total_bytes < 4 * full // 3 + 1
         assert ws.total_bytes > 0
+
+
+class TestSchedules:
+    def test_default_is_classic(self):
+        assert Workspace(2, 4, 4, 4).schedule == "classic"
+
+    def test_two_temp_halves_square_scratch(self):
+        classic = Workspace(3, 8, 8, 8, with_q=True)
+        lean = Workspace(3, 8, 8, 8, schedule="two_temp")
+        # Square geometry: max(|A|,|C|)+|B| = 2 quarters vs classic's 4.
+        assert lean.nbytes * 2 == classic.nbytes
+
+    def test_two_temp_p_aliases_s_buffer(self):
+        ws = Workspace(2, 4, 4, 4, schedule="two_temp")
+        lv = ws.at(1)
+        assert lv.q is None
+        assert np.shares_memory(lv.s.buf, lv.p.buf)
+        # nbytes counts the shared buffer once.
+        assert lv.nbytes == lv.s.buf.nbytes + lv.t.buf.nbytes
+
+    def test_two_temp_rectangular_x_sized_to_max(self):
+        # |A quarter| = 3*5, |C quarter| = 3*7 -> X holds the C shape.
+        ws = Workspace(1, 3, 5, 7, schedule="two_temp")
+        lv = ws.at(0)
+        assert lv.p.size == 3 * 7
+        assert lv.s.size == 3 * 5
+        assert lv.nbytes == (3 * 7 + 5 * 7) * 8
+
+    def test_ip_overwrite_owns_nothing(self):
+        ws = Workspace(3, 4, 4, 4, schedule="ip_overwrite")
+        assert ws.levels == []
+        assert ws.nbytes == 0
+        assert ws.total_bytes == 0
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown workspace schedule"):
+            Workspace(2, 4, 4, 4, schedule="lean")
+
+    def test_with_q_only_for_classic(self):
+        with pytest.raises(ValueError, match="with_q"):
+            Workspace(2, 4, 4, 4, with_q=True, schedule="two_temp")
