@@ -16,9 +16,9 @@ lint:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Tiny-size run of the scheduler/conversion scaling and memory-schedule
-# benchmarks, then schema + guard checks of the JSON reports they emit
-# (BENCH_parallel.json, BENCH_memory.json).
+# Tiny-size run of the scheduler/conversion scaling, memory-schedule and
+# stacked-batch benchmarks, then schema + guard checks of the JSON reports
+# they emit (BENCH_parallel.json, BENCH_memory.json, BENCH_batch.json).
 bench-smoke:
 	PYTHONPATH=src BENCH_PARALLEL_QUICK=1 $(PYTHON) -m pytest \
 		benchmarks/test_bench_parallel.py -q
@@ -26,6 +26,9 @@ bench-smoke:
 	PYTHONPATH=src BENCH_MEMORY_QUICK=1 $(PYTHON) -m pytest \
 		benchmarks/test_bench_memory.py -q
 	$(PYTHON) benchmarks/validate_bench_memory.py
+	PYTHONPATH=src BENCH_BATCH_QUICK=1 $(PYTHON) -m pytest \
+		benchmarks/test_bench_batch.py -q
+	$(PYTHON) benchmarks/validate_bench_batch.py
 
 figures:
 	$(PYTHON) -m repro.experiments all

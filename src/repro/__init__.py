@@ -35,7 +35,9 @@ Sessions are the serving-workload API::
     cs = session.multiply_many([(a1, b1), (a2, b2)])
 """
 
-from .errors import ReproError, ShapeError, PlanError, KernelError
+from .errors import (
+    ReproError, ShapeError, PlanError, KernelError, BatchItemError,
+)
 from .blas.dgemm import GemmProblem, OpKind, dgemm_reference
 from .core.modgemm import modgemm, modgemm_morton, PhaseTimings
 from .core.truncation import TruncationPolicy
@@ -77,5 +79,6 @@ __all__ = [
     "ShapeError",
     "PlanError",
     "KernelError",
+    "BatchItemError",
     "__version__",
 ]

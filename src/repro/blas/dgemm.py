@@ -65,9 +65,21 @@ class GemmProblem:
         alpha: float = 1.0,
         beta: float = 0.0,
         c: np.ndarray | None = None,
+        dtype=None,
     ) -> "GemmProblem":
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
+        """Validate one dgemm call.
+
+        ``dtype`` selects the computation precision — ``float64`` (the
+        default, the paper's regime) or ``float32``; operands are cast on
+        the way in, so mixed inputs work at the cost of a copy.
+        """
+        dt = np.dtype(np.float64 if dtype is None else dtype)
+        if dt not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"unsupported dtype {dt}; dgemm supports float64 and float32"
+            )
+        a = np.asarray(a, dtype=dt)
+        b = np.asarray(b, dtype=dt)
         if a.ndim != 2 or b.ndim != 2:
             raise ShapeError(
                 f"dgemm operands must be 2-D, got ndims {a.ndim} and {b.ndim}"

@@ -23,7 +23,7 @@ from typing import Protocol
 
 import numpy as np
 
-from ..blas.kernels import LeafKernel, get_kernel
+from ..blas.kernels import LeafKernel, get_batch_kernel, get_kernel
 from ..layout.matrix import MortonMatrix
 
 __all__ = ["WinogradOps", "NumpyOps", "FUSE_CHUNK_ELEMS"]
@@ -68,12 +68,19 @@ class WinogradOps(Protocol):
 _fuse_scratch = threading.local()
 
 
-def _fuse_chunk() -> np.ndarray:
-    """Per-thread cache-sized staging chunk for fused addition passes."""
-    buf = getattr(_fuse_scratch, "buf", None)
-    if buf is None:
-        buf = np.empty(FUSE_CHUNK_ELEMS, dtype=np.float64)
-        _fuse_scratch.buf = buf
+def _fuse_chunk(dtype: np.dtype, elems: int = FUSE_CHUNK_ELEMS) -> np.ndarray:
+    """Per-thread cache-sized staging chunk for fused addition passes.
+
+    One grow-only buffer per dtype; ``elems`` may exceed the default when a
+    batched pass needs at least one full batch column per chunk.
+    """
+    bufs = getattr(_fuse_scratch, "bufs", None)
+    if bufs is None:
+        bufs = _fuse_scratch.bufs = {}
+    key = np.dtype(dtype).str
+    buf = bufs.get(key)
+    if buf is None or buf.size < elems:
+        buf = bufs[key] = np.empty(max(elems, FUSE_CHUNK_ELEMS), dtype=dtype)
     return buf
 
 
@@ -97,6 +104,7 @@ class NumpyOps:
 
     def __init__(self, kernel: "str | LeafKernel" = "numpy") -> None:
         self.kernel = get_kernel(kernel)
+        self.batch_kernel = get_batch_kernel(kernel)
         self.fused_adds = 0
 
     def add(self, dst: MortonMatrix, x: MortonMatrix, y: MortonMatrix) -> None:
@@ -129,7 +137,21 @@ class NumpyOps:
         """
         _same_size(dst, x, y, z)
         d, xb, yb, zb = dst.buf, x.buf, y.buf, z.buf
-        tmp = _fuse_chunk()
+        if d.ndim == 2:
+            # Batched form: chunk along the element axis so every pass
+            # covers the whole batch — chunk boundaries never change the
+            # elementwise arithmetic, only its staging granularity.
+            bsz, elems = d.shape
+            step = max(1, FUSE_CHUNK_ELEMS // bsz)
+            tmp = _fuse_chunk(d.dtype, bsz * step)
+            for i in range(0, elems, step):
+                j = min(i + step, elems)
+                t = tmp[: bsz * (j - i)].reshape(bsz, j - i)
+                np.add(xb[:, i:j], yb[:, i:j], out=t)
+                np.add(t, zb[:, i:j], out=d[:, i:j])
+            self.fused_adds += 1
+            return
+        tmp = _fuse_chunk(d.dtype)
         for i in range(0, d.size, FUSE_CHUNK_ELEMS):
             j = min(i + FUSE_CHUNK_ELEMS, d.size)
             t = tmp[: j - i]
@@ -143,5 +165,14 @@ class NumpyOps:
         np.subtract(x.buf, dst.buf, out=dst.buf)
 
     def leaf_mult(self, a: MortonMatrix, b: MortonMatrix, dst: MortonMatrix) -> None:
-        """Multiply two leaf tiles with the configured kernel."""
+        """Multiply two leaf tiles (or stacked batches) with the kernel.
+
+        Batched operands (anything exposing a ``batch`` axis) route to the
+        batched kernel so an entire ``(B, T, T)`` leaf site is one call.
+        """
+        if getattr(a, "batch", None) is not None:
+            self.batch_kernel(
+                a.leaf_view(), b.leaf_view(), dst.leaf_view(), accumulate=False
+            )
+            return
         self.kernel(a.leaf_view(), b.leaf_view(), dst.leaf_view(), accumulate=False)

@@ -44,7 +44,7 @@ import numpy as np
 from ..blas.kernels import LeafKernel
 from ..layout.matrix import MortonMatrix
 from .ops import NumpyOps, WinogradOps
-from .scheduler import TaskGraph, WorkerPool
+from .scheduler import TaskGraph, WorkerPool, stripe_ranges
 from .winograd import _check_conformable, _recurse, _recurse_two_temp, resolve_memory
 from .workspace import Workspace
 
@@ -52,14 +52,17 @@ __all__ = [
     "TaskScratch",
     "ParallelScratch",
     "build_winograd_graph",
+    "run_batch_stripes",
     "parallel_multiply",
 ]
 
 
-def _scratch(rows_tile: int, cols_tile: int, depth: int) -> MortonMatrix:
+def _scratch(
+    rows_tile: int, cols_tile: int, depth: int, dtype=np.float64
+) -> MortonMatrix:
     n = (rows_tile << depth) * (cols_tile << depth)
     return MortonMatrix(
-        buf=np.empty(n, dtype=np.float64),
+        buf=np.empty(n, dtype=dtype),
         rows=rows_tile << depth,
         cols=cols_tile << depth,
         tile_r=rows_tile,
@@ -74,14 +77,18 @@ class _NodeScratch:
     __slots__ = ("s", "t", "p", "children")
 
     def __init__(
-        self, tile_m: int, tile_k: int, tile_n: int, depth: int, levels: int
+        self, tile_m: int, tile_k: int, tile_n: int, depth: int, levels: int,
+        dtype=np.float64,
     ) -> None:
         d = depth - 1
-        self.s = [_scratch(tile_m, tile_k, d) for _ in range(4)]
-        self.t = [_scratch(tile_k, tile_n, d) for _ in range(4)]
-        self.p = [_scratch(tile_m, tile_n, d) for _ in range(7)]
+        self.s = [_scratch(tile_m, tile_k, d, dtype) for _ in range(4)]
+        self.t = [_scratch(tile_k, tile_n, d, dtype) for _ in range(4)]
+        self.p = [_scratch(tile_m, tile_n, d, dtype) for _ in range(7)]
         self.children = (
-            [_NodeScratch(tile_m, tile_k, tile_n, d, levels - 1) for _ in range(7)]
+            [
+                _NodeScratch(tile_m, tile_k, tile_n, d, levels - 1, dtype)
+                for _ in range(7)
+            ]
             if levels > 1 and d >= 1
             else None
         )
@@ -156,6 +163,7 @@ class TaskScratch:
         parallel_depth: int = 1,
         workers: int = 7,
         memory: "str | None" = "classic",
+        dtype=np.float64,
     ) -> None:
         if depth < 1:
             raise ValueError(f"TaskScratch needs depth >= 1, got {depth}")
@@ -176,17 +184,24 @@ class TaskScratch:
         self.parallel_depth = min(parallel_depth, depth)
         self.workers = workers
         self.memory = memory
-        self.root = _NodeScratch(tile_m, tile_k, tile_n, depth, self.parallel_depth)
+        self.root = _NodeScratch(
+            tile_m, tile_k, tile_n, depth, self.parallel_depth, dtype
+        )
         leaf_depth = depth - self.parallel_depth
         n_ws = min(workers, 7**self.parallel_depth) if leaf_depth > 0 else 0
         if memory == "two_temp":
             leaf_ws = [
-                Workspace(leaf_depth, tile_m, tile_k, tile_n, schedule="two_temp")
+                Workspace(
+                    leaf_depth, tile_m, tile_k, tile_n,
+                    schedule="two_temp", dtype=dtype,
+                )
                 for _ in range(n_ws)
             ]
         else:
             leaf_ws = [
-                Workspace(leaf_depth, tile_m, tile_k, tile_n, with_q=True)
+                Workspace(
+                    leaf_depth, tile_m, tile_k, tile_n, with_q=True, dtype=dtype
+                )
                 for _ in range(n_ws)
             ]
         self.workspace_pool = _WorkspacePool(leaf_ws)
@@ -333,6 +348,38 @@ def _expand(
     u7b = graph.add(lambda: ops.iadd(c12, p[2]), deps=(u7a, *p3), label="U7b")
     u4 = graph.add(lambda: ops.iadd(c21, p[6]), deps=(u5, *p7), label="U4")
     return [u1, u7b, u4, u5]
+
+
+def run_batch_stripes(
+    pool: "WorkerPool | None",
+    batch: int,
+    stripe_fn,
+    workers: int,
+    name: str = "batch-stripes",
+) -> int:
+    """Run ``stripe_fn(lo, hi)`` over even stripes of ``range(batch)``.
+
+    The batched GEMM's parallel schedule: instead of expanding one item's
+    recursion into a 7-way task DAG, the *batch axis* splits into
+    contiguous row stripes — one task per stripe, each running the
+    sequential batched recursion over its rows.  Stripes touch disjoint
+    batch rows of the operand, output, and workspace stacks, so tasks need
+    no ordering edges and results are bit-identical to the unstriped run
+    (each item's arithmetic is unchanged; only which rows share a ufunc
+    call varies).  Returns the number of stripes executed.  With no pool
+    (or a single stripe) the stripes run inline.
+    """
+    stripes = stripe_ranges(batch, workers)
+
+    def job(lo: int, hi: int):
+        return lambda: stripe_fn(lo, hi)
+
+    if pool is None or len(stripes) <= 1:
+        for lo, hi in stripes:
+            stripe_fn(lo, hi)
+        return len(stripes)
+    pool.run_all([job(lo, hi) for lo, hi in stripes], name=name)
+    return len(stripes)
 
 
 # --------------------------------------------------------------- legacy API

@@ -34,7 +34,23 @@ from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
 
-__all__ = ["Schedule", "Task", "TaskGraph", "GraphRun", "WorkerPool"]
+__all__ = [
+    "Schedule", "Task", "TaskGraph", "GraphRun", "WorkerPool", "stripe_ranges",
+]
+
+
+def stripe_ranges(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into at most ``parts`` contiguous ``(lo, hi)`` runs.
+
+    The unit of batch-axis parallelism: a stack of ``n`` same-geometry
+    problems splits into even row stripes, one independent task per stripe
+    (used by the batched GEMM path and the batched conversions).
+    """
+    if n <= 0:
+        return []
+    parts = max(1, min(parts, n))
+    step = -(-n // parts)
+    return [(lo, min(lo + step, n)) for lo in range(0, n, step)]
 
 
 @dataclass(frozen=True)

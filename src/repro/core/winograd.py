@@ -56,7 +56,7 @@ import numpy as np
 
 from ..layout.matrix import MortonMatrix
 from .ops import NumpyOps, WinogradOps
-from .workspace import Workspace
+from .workspace import BatchWorkspace, Workspace
 
 __all__ = [
     "winograd_multiply",
@@ -118,6 +118,16 @@ def winograd_multiply(
     the requested ``memory`` schedule.  With ``memory="ip_overwrite"``
     **the contents of** ``a`` **and** ``b`` **are destroyed** and no
     workspace is used.
+
+    The operands may equally be same-shape
+    :class:`~repro.layout.matrix.BatchMortonMatrix` stacks (with a
+    batch-stacked workspace view): the recursion is written against the
+    duck-typed quadrant/ops vocabulary, so one call then multiplies the
+    whole batch — every addition a single ufunc over ``(B, elems)`` slabs,
+    every leaf product one batched ``matmul`` — with per-item results
+    bit-identical to the unbatched path (same addition order throughout).
+    ``ip_overwrite`` is not offered for batches (the batched path never
+    clobbers operands).
     """
     _check_conformable(a, b, c)
     memory = resolve_memory(memory)
@@ -128,6 +138,19 @@ def winograd_multiply(
             f"ops backend {type(ops).__name__} lacks the fused add3/sub_into "
             f"passes required by the {memory!r} schedule; use memory='classic'"
         )
+    batch = getattr(a, "batch", None)
+    if batch is not None:
+        if memory == "ip_overwrite":
+            raise ValueError(
+                "memory='ip_overwrite' is not supported for batched operands"
+            )
+        if workspace is None:
+            ws = BatchWorkspace(
+                batch, a.depth, a.tile_r, a.tile_c, b.tile_c,
+                with_q=memory == "classic", schedule=memory,
+                dtype=a.buf.dtype,
+            )
+            workspace = ws.view(0, batch)
 
     if memory == "ip_overwrite":
         if a.depth > 0 and not (a.tile_r == a.tile_c == b.tile_c):

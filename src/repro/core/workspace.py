@@ -27,9 +27,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..layout.matrix import MortonMatrix
+from ..layout.matrix import BatchMortonMatrix, MortonMatrix, staggered_buffer
 
-__all__ = ["Workspace", "WORKSPACE_SCHEDULES"]
+__all__ = ["Workspace", "BatchWorkspace", "WORKSPACE_SCHEDULES"]
 
 #: Scratch layouts a :class:`Workspace` can be built for.
 WORKSPACE_SCHEDULES = ("classic", "two_temp", "ip_overwrite")
@@ -66,24 +66,25 @@ class _Level:
         tiles_c: tuple[int, int],
         with_q: bool,
         schedule: str,
+        dtype=np.float64,
     ) -> None:
         def elems(tile_r: int, tile_c: int) -> int:
             return (tile_r << depth) * (tile_c << depth)
 
         if schedule == "two_temp":
-            x = np.empty(max(elems(*tiles_a), elems(*tiles_c)), dtype=np.float64)
-            y = np.empty(elems(*tiles_b), dtype=np.float64)
+            x = np.empty(max(elems(*tiles_a), elems(*tiles_c)), dtype=dtype)
+            y = np.empty(elems(*tiles_b), dtype=dtype)
             self.s = _view(x, depth, *tiles_a)
             self.t = _view(y, depth, *tiles_b)
             self.p = _view(x, depth, *tiles_c)  # aliases s — by design
             self.q = None
             self.nbytes = x.nbytes + y.nbytes
         else:
-            self.s = _view(np.empty(elems(*tiles_a), dtype=np.float64), depth, *tiles_a)
-            self.t = _view(np.empty(elems(*tiles_b), dtype=np.float64), depth, *tiles_b)
-            self.p = _view(np.empty(elems(*tiles_c), dtype=np.float64), depth, *tiles_c)
+            self.s = _view(np.empty(elems(*tiles_a), dtype=dtype), depth, *tiles_a)
+            self.t = _view(np.empty(elems(*tiles_b), dtype=dtype), depth, *tiles_b)
+            self.p = _view(np.empty(elems(*tiles_c), dtype=dtype), depth, *tiles_c)
             self.q = (
-                _view(np.empty(elems(*tiles_c), dtype=np.float64), depth, *tiles_c)
+                _view(np.empty(elems(*tiles_c), dtype=dtype), depth, *tiles_c)
                 if with_q
                 else None
             )
@@ -111,6 +112,7 @@ class Workspace:
         tile_n: int,
         with_q: bool = False,
         schedule: str = "classic",
+        dtype=np.float64,
     ) -> None:
         if schedule not in WORKSPACE_SCHEDULES:
             raise ValueError(
@@ -135,6 +137,7 @@ class Workspace:
                     tiles_c=(tile_m, tile_n),
                     with_q=with_q,
                     schedule=schedule,
+                    dtype=dtype,
                 )
                 for d in range(depth - 1, -1, -1)
             ]
@@ -151,4 +154,160 @@ class Workspace:
     @property
     def total_bytes(self) -> int:
         """Backwards-compatible alias for :attr:`nbytes`."""
+        return self.nbytes
+
+
+class _BatchLevel:
+    """Stacked scratch views for one recursion level of a batch stripe."""
+
+    __slots__ = ("s", "t", "p", "q")
+
+    def __init__(self, s, t, p, q) -> None:
+        self.s, self.t, self.p, self.q = s, t, p, q
+
+
+class _BatchWorkspaceView:
+    """Duck-types :class:`Workspace` for one ``[lo, hi)`` row range.
+
+    Each view's levels are row slices of the shared raw arrays, so
+    disjoint batch stripes can recurse concurrently over the same
+    :class:`BatchWorkspace` with no contention and no extra memory.
+    """
+
+    __slots__ = ("schedule", "depth", "levels")
+
+    def __init__(self, schedule: str, depth: int, levels: list) -> None:
+        self.schedule = schedule
+        self.depth = depth
+        self.levels = levels
+
+    def at(self, child_depth: int) -> _BatchLevel:
+        return self.levels[self.depth - 1 - child_depth]
+
+
+class BatchWorkspace:
+    """Batch-stacked scratch for ``cap`` same-geometry recursions at once.
+
+    The raw backing arrays are ``(cap, elems)`` — one scratch row per batch
+    item — and :meth:`view` carves ``[lo, hi)`` row-range adapters whose
+    levels hold :class:`~repro.layout.matrix.BatchMortonMatrix` views.  The
+    ``two_temp`` aliasing (A-shaped X doubling as the C-shaped P1 slot)
+    carries over as two column-prefix views of the same rows.
+    ``ip_overwrite`` is rejected: the batched path never clobbers operands.
+    """
+
+    def __init__(
+        self,
+        cap: int,
+        depth: int,
+        tile_m: int,
+        tile_k: int,
+        tile_n: int,
+        with_q: bool = False,
+        schedule: str = "classic",
+        dtype=np.float64,
+        stagger: int = 0,
+    ) -> None:
+        if schedule not in ("classic", "two_temp"):
+            raise ValueError(
+                f"BatchWorkspace supports 'classic' and 'two_temp', not {schedule!r}"
+            )
+        if with_q and schedule != "classic":
+            raise ValueError("with_q requires the classic schedule")
+        self.cap = cap
+        self.depth = depth
+        self.schedule = schedule
+        self.dtype = np.dtype(dtype)
+        self._tiles = (tile_m, tile_k, tile_n)
+        self._raw: list[dict] = []  # per level, outermost first
+        self._views: dict[tuple[int, int], _BatchWorkspaceView] = {}
+        # Stack rows are large power-of-two-multiple allocations, so give
+        # every buffer a distinct stagger index (continuing from the
+        # caller's base) to keep their rows off common cache sets.
+        def alloc(elems: int) -> np.ndarray:
+            nonlocal stagger
+            buf = staggered_buffer((cap, elems), dtype, stagger)
+            stagger += 1 if stagger else 0
+            return buf
+
+        for d in range(depth - 1, -1, -1):
+            ea = (tile_m << d) * (tile_k << d)
+            eb = (tile_k << d) * (tile_n << d)
+            ec = (tile_m << d) * (tile_n << d)
+            if schedule == "two_temp":
+                raw = {
+                    "x": alloc(max(ea, ec)),
+                    "y": alloc(eb),
+                }
+            else:
+                raw = {
+                    "s": alloc(ea),
+                    "t": alloc(eb),
+                    "p": alloc(ec),
+                }
+                if with_q:
+                    raw["q"] = alloc(ec)
+            raw["_depth"] = d
+            self._raw.append(raw)
+
+    def _bmm(self, buf2d, depth: int, tile_r: int, tile_c: int) -> BatchMortonMatrix:
+        elems = (tile_r << depth) * (tile_c << depth)
+        return BatchMortonMatrix(
+            buf=buf2d[:, :elems],
+            rows=tile_r << depth,
+            cols=tile_c << depth,
+            tile_r=tile_r,
+            tile_c=tile_c,
+            depth=depth,
+        )
+
+    def view(self, lo: int, hi: int) -> _BatchWorkspaceView:
+        """Workspace adapter over batch rows ``[lo, hi)`` (cached)."""
+        if not (0 <= lo < hi <= self.cap):
+            raise ValueError(f"stripe [{lo}, {hi}) outside capacity {self.cap}")
+        key = (lo, hi)
+        cached = self._views.get(key)
+        if cached is not None:
+            return cached
+        tile_m, tile_k, tile_n = self._tiles
+        levels = []
+        for raw in self._raw:
+            d = raw["_depth"]
+            if self.schedule == "two_temp":
+                x, y = raw["x"][lo:hi], raw["y"][lo:hi]
+                levels.append(
+                    _BatchLevel(
+                        s=self._bmm(x, d, tile_m, tile_k),
+                        t=self._bmm(y, d, tile_k, tile_n),
+                        p=self._bmm(x, d, tile_m, tile_n),  # aliases s
+                        q=None,
+                    )
+                )
+            else:
+                levels.append(
+                    _BatchLevel(
+                        s=self._bmm(raw["s"][lo:hi], d, tile_m, tile_k),
+                        t=self._bmm(raw["t"][lo:hi], d, tile_k, tile_n),
+                        p=self._bmm(raw["p"][lo:hi], d, tile_m, tile_n),
+                        q=self._bmm(raw["q"][lo:hi], d, tile_m, tile_n)
+                        if "q" in raw
+                        else None,
+                    )
+                )
+        view = _BatchWorkspaceView(self.schedule, self.depth, levels)
+        self._views[key] = view
+        return view
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes actually allocated (aliased two_temp views counted once)."""
+        return sum(
+            arr.nbytes
+            for raw in self._raw
+            for name, arr in raw.items()
+            if name != "_depth"
+        )
+
+    @property
+    def total_bytes(self) -> int:
         return self.nbytes

@@ -26,7 +26,15 @@ cache for free while staying behaviour-identical.
 
 from ..core.scheduler import Schedule, WorkerPool
 from ..core.winograd import MEMORY_SCHEDULES, resolve_memory
-from .plan import CompiledPlan, PlanKey, resolve_variant, VARIANTS
+from .plan import (
+    BATCH_CAP_MAX,
+    BatchPlan,
+    CompiledPlan,
+    PlanKey,
+    batch_size_class,
+    resolve_variant,
+    VARIANTS,
+)
 from .session import (
     GemmSession,
     SessionStats,
@@ -35,6 +43,9 @@ from .session import (
 )
 
 __all__ = [
+    "BATCH_CAP_MAX",
+    "BatchPlan",
+    "batch_size_class",
     "CompiledPlan",
     "PlanKey",
     "Schedule",

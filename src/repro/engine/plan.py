@@ -38,19 +38,46 @@ from ..blas.dgemm import GemmProblem, OpKind
 from ..blas.kernels import LeafKernel
 from ..core.modgemm import PhaseTimings
 from ..core.ops import NumpyOps
-from ..core.parallel import TaskScratch, build_winograd_graph
+from ..core.parallel import TaskScratch, build_winograd_graph, run_batch_stripes
 from ..core.rectangular import plan_panels
 from ..core.scheduler import Schedule, TaskGraph
 from ..core.strassen import strassen_multiply
 from ..core.truncation import TruncationPolicy
 from ..core.winograd import resolve_memory, winograd_multiply
-from ..core.workspace import Workspace
+from ..core.workspace import BatchWorkspace, Workspace
 from ..errors import KernelError, PlanError, ShapeError
-from ..layout.convert import ConversionTable, dense_to_morton, morton_to_dense
-from ..layout.matrix import MortonMatrix
+from ..layout.convert import (
+    ConversionTable,
+    conversion_table,
+    dense_to_morton,
+    dense_to_morton_batch,
+    morton_to_dense,
+    morton_to_dense_batch,
+)
+from ..layout.matrix import BatchMortonMatrix, MortonMatrix
 from ..layout.padding import Tiling
 
-__all__ = ["PlanKey", "CompiledPlan", "resolve_variant", "VARIANTS"]
+__all__ = [
+    "PlanKey", "CompiledPlan", "BatchPlan", "batch_size_class",
+    "resolve_variant", "VARIANTS", "BATCH_CAP_MAX",
+]
+
+#: Largest stacked-batch capacity class; bigger batches execute in chunks
+#: of this size, so one cached :class:`BatchPlan` serves any batch length
+#: while its pooled stacks stay bounded (3 operand stacks + workspace).
+BATCH_CAP_MAX = 32
+
+
+def batch_size_class(n_items: int) -> int:
+    """The pooled-buffer capacity class serving a batch of ``n_items``.
+
+    The next power of two, capped at :data:`BATCH_CAP_MAX` — so a session
+    caches at most ``log2(BATCH_CAP_MAX)+1`` stack sizes per geometry
+    instead of one per distinct batch length.
+    """
+    if n_items < 1:
+        raise ValueError(f"batch must have >= 1 item, got {n_items}")
+    return min(1 << (n_items - 1).bit_length(), BATCH_CAP_MAX)
 
 #: Canonical recursion-variant names and their multiply entry points.
 VARIANTS = {"winograd": winograd_multiply, "strassen": strassen_multiply}
@@ -109,11 +136,17 @@ class PlanKey:
     variant: str
     schedule: Schedule
     memory: str = "classic"
+    dtype: str = "float64"
 
     @property
     def parallel(self) -> bool:
         """True when the plan executes on the task scheduler."""
         return self.schedule.parallel
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The computation dtype as a numpy dtype object."""
+        return np.dtype(self.dtype)
 
 
 class _ConvertSite:
@@ -221,9 +254,10 @@ class CompiledPlan:
             )
         # Operand pads are zeroed here, once; every later conversion uses
         # zero_pad=False and writes only the logical region.
-        self._a_mm = MortonMatrix.zeros(key.m, key.k, tm, tk)
-        self._b_mm = MortonMatrix.zeros(key.k, key.n, tk, tn)
-        self._c_mm = MortonMatrix.empty(key.m, key.n, tm, tn)
+        dt = key.np_dtype
+        self._a_mm = MortonMatrix.zeros(key.m, key.k, tm, tk, dtype=dt)
+        self._b_mm = MortonMatrix.zeros(key.k, key.n, tk, tn, dtype=dt)
+        self._c_mm = MortonMatrix.empty(key.m, key.n, tm, tn, dtype=dt)
         self.buffers_allocated += 3
         # ip_overwrite leaves garbage in the operand pads after every
         # execution; such plans must re-zero A/B before each conversion.
@@ -238,6 +272,7 @@ class CompiledPlan:
                 parallel_depth=sched.depth,
                 workers=sched.workers or self.session._pool_size(),
                 memory=memory,
+                dtype=dt,
             )
             self.buffers_allocated += self._tscratch.buffer_count
             self._graph = build_winograd_graph(
@@ -246,12 +281,12 @@ class CompiledPlan:
             )
         elif memory == "two_temp":
             self._workspace = Workspace(
-                depth, tm.tile, tk.tile, tn.tile, schedule="two_temp"
+                depth, tm.tile, tk.tile, tn.tile, schedule="two_temp", dtype=dt
             )
             self.buffers_allocated += 2 * depth
         elif memory == "classic":
             self._workspace = Workspace(
-                depth, tm.tile, tk.tile, tn.tile, with_q=True
+                depth, tm.tile, tk.tile, tn.tile, with_q=True, dtype=dt
             )
             self.buffers_allocated += 4 * depth
         # ip_overwrite: no workspace at all.
@@ -288,6 +323,7 @@ class CompiledPlan:
                         variant=key.variant,
                         schedule=key.schedule,
                         memory=key.memory,
+                        dtype=key.dtype,
                     )
                 )
 
@@ -309,7 +345,7 @@ class CompiledPlan:
         """
         p = GemmProblem.create(
             a, b, op_a=self.key.op_a, op_b=self.key.op_b,
-            alpha=alpha, beta=beta, c=c,
+            alpha=alpha, beta=beta, c=c, dtype=self.key.dtype,
         )
         return self.execute_problem(p, c=c, timings=timings)
 
@@ -456,7 +492,7 @@ class CompiledPlan:
     ) -> np.ndarray:
         opa = p.op_a_view
         opb = p.op_b_view
-        d = np.zeros((p.m, p.n), dtype=np.float64, order="F")
+        d = np.zeros((p.m, p.n), dtype=self.key.np_dtype, order="F")
         for panel, sub in zip(self._panels, self._panel_plans):
             pa = opa[panel.m0 : panel.m1, panel.k0 : panel.k1]
             pb = opb[panel.k0 : panel.k1, panel.n0 : panel.n1]
@@ -534,4 +570,282 @@ class CompiledPlan:
             f"CompiledPlan({key.m}x{key.k}x{key.n}, "
             f"op=({key.op_a.value},{key.op_b.value}), {key.variant}"
             f"{sched}, {shape})"
+        )
+
+
+class BatchPlan:
+    """A stacked-Morton execution plan for many same-geometry problems.
+
+    Owns pooled batch-major stacks — operand/product
+    :class:`BatchMortonMatrix` buffers of capacity ``cap`` (a
+    :func:`batch_size_class`) plus a :class:`BatchWorkspace` — and executes
+    whole batches through **one** Winograd/Strassen recursion: every
+    addition is a single ufunc over ``(B, elems)`` slabs and every leaf
+    product one batched ``matmul`` over a ``(B, T, T)`` stack.  Results
+    are bit-identical to per-item :meth:`CompiledPlan.execute` — the
+    recursion code and addition order are literally the same, only the
+    leading batch axis differs.
+
+    ``tasks`` schedules stripe the *batch axis* across the session's
+    worker pool (contiguous row stripes with disjoint workspace rows)
+    instead of expanding one item's recursion into a task DAG — many small
+    problems parallelise better across items than within one.
+
+    Conversion reuses one shared :class:`ConversionTable` per side,
+    broadcast over the batch: each item is a single vectorised
+    gather/scatter.  The first execution times a tile-loop conversion of
+    item 0 per site as the baseline that ``batch_convert_seconds_saved``
+    is measured against.
+
+    Cached in the session's LRU alongside :class:`CompiledPlan`, keyed by
+    ``(PlanKey, cap)``; eviction releases the stacks.  Requires a
+    well-behaved tiling and ``memory != "ip_overwrite"`` (the batched
+    recursion never clobbers operands — the pooled stacks' zero pads must
+    survive across executions).
+    """
+
+    def __init__(self, key: PlanKey, cap: int, session) -> None:
+        self.key = key
+        self.cap = cap
+        self.session = session
+        self._lock = threading.Lock()
+        self._cache_hit = False
+        memory = resolve_memory(key.memory)
+        if memory == "ip_overwrite":
+            raise PlanError(
+                "the batched path cannot use memory='ip_overwrite' "
+                "(it would clobber the pooled operand stacks)"
+            )
+        self.tilings = key.policy.plan(key.m, key.k, key.n)
+        if self.tilings is None:
+            raise PlanError(
+                f"{key.m}x{key.k}x{key.n} needs the panelled path; "
+                "the batched path serves well-behaved tilings only"
+            )
+        tm, tk, tn = self.tilings
+        dt = key.np_dtype
+        self._ops = NumpyOps(key.kernel)
+        # Stacks are large power-of-two-multiple allocations; distinct
+        # stagger indices keep same-item rows of A/B/C (and the workspace
+        # buffers, which continue the sequence) from ever landing
+        # cache-set-congruent — the paper's Section 4 conflict problem
+        # resurfacing at the batch level.
+        self._a = BatchMortonMatrix.zeros(
+            cap, key.m, key.k, tm, tk, dtype=dt, stagger=1
+        )
+        self._b = BatchMortonMatrix.zeros(
+            cap, key.k, key.n, tk, tn, dtype=dt, stagger=2
+        )
+        self._c = BatchMortonMatrix.zeros(
+            cap, key.m, key.n, tm, tn, dtype=dt, stagger=3
+        )
+        self.buffers_allocated = 3
+        self._ws = BatchWorkspace(
+            cap, tm.depth, tm.tile, tk.tile, tn.tile,
+            with_q=memory == "classic", schedule=memory, dtype=dt, stagger=4,
+        )
+        per_level = 2 if memory == "two_temp" else 4
+        self.buffers_allocated += per_level * tm.depth
+        # One shared table per side, broadcast over the batch axis.  The
+        # per-item engine calibrates loop-vs-table per plan; here the
+        # B-fold Python-overhead amortisation makes the table the static
+        # winner whenever the recursion has any depth at all.
+        self._tables: dict[str, ConversionTable] = {}
+        if tm.depth >= 1:
+            for name, mm in (("a", self._a), ("b", self._b), ("c", self._c)):
+                if mm.rows * mm.cols <= CONVERT_TABLE_MAX_ELEMS:
+                    self._tables[name] = conversion_table(
+                        mm.rows, mm.cols, mm.tile_r, mm.tile_c, mm.depth
+                    )
+        self._baseline: dict[str, float] = {}
+        # Stripe views are pure geometry; reuse them (and their memoised
+        # quadrant/leaf caches) across executions.
+        self._stripes: dict = {}
+
+    # ------------------------------------------------------------- execute
+
+    def _convert_in(
+        self, name: str, arrs, out: BatchMortonMatrix, transpose: bool,
+        pool, workers: int,
+    ) -> float:
+        """Fill ``out[:len(arrs)]``; return conversion seconds saved."""
+        table = self._tables.get(name)
+        if table is None:
+            dense_to_morton_batch(
+                arrs, out, transpose=transpose, pool=pool, workers=workers
+            )
+            return 0.0
+        base = self._baseline.get(name)
+        if base is None:
+            # Calibrate: item 0 through the tile loop (timed baseline),
+            # the rest through the shared table.
+            t0 = time.perf_counter()
+            dense_to_morton(
+                arrs[0], out.item(0), transpose=transpose, zero_pad=False
+            )
+            base = self._baseline[name] = time.perf_counter() - t0
+            t1 = time.perf_counter()
+            for i in range(1, len(arrs)):
+                dense_to_morton(
+                    arrs[i], out.item(i), transpose=transpose,
+                    zero_pad=False, table=table,
+                )
+            return base * (len(arrs) - 1) - (time.perf_counter() - t1)
+        t0 = time.perf_counter()
+        dense_to_morton_batch(
+            arrs, out, transpose=transpose, table=table,
+            pool=pool, workers=workers,
+        )
+        return base * len(arrs) - (time.perf_counter() - t0)
+
+    def _convert_out(self, n_items: int, pool, workers: int):
+        """Gather the first ``n_items`` products back to dense arrays."""
+        table = self._tables.get("c")
+        if table is None:
+            return morton_to_dense_batch(
+                self._c, n_items, pool=pool, workers=workers
+            ), 0.0
+        base = self._baseline.get("c")
+        if base is None:
+            t0 = time.perf_counter()
+            first = morton_to_dense(self._c.item(0))
+            base = self._baseline["c"] = time.perf_counter() - t0
+            t1 = time.perf_counter()
+            rest = [
+                morton_to_dense(self._c.item(i), table=table)
+                for i in range(1, n_items)
+            ]
+            saved = base * (n_items - 1) - (time.perf_counter() - t1)
+            return [first, *rest], saved
+        t0 = time.perf_counter()
+        outs = morton_to_dense_batch(
+            self._c, n_items, table=table, pool=pool, workers=workers
+        )
+        return outs, base * n_items - (time.perf_counter() - t0)
+
+    def _run_stripe(self, lo: int, hi: int) -> None:
+        views = self._stripes.get((lo, hi))
+        if views is None:
+            views = self._stripes[(lo, hi)] = (
+                self._a.stripe(lo, hi),
+                self._b.stripe(lo, hi),
+                self._c.stripe(lo, hi),
+                self._ws.view(lo, hi),
+            )
+        a, b, c, ws = views
+        if self.key.variant == "winograd":
+            winograd_multiply(
+                a, b, c, ops=self._ops, workspace=ws, memory=self.key.memory
+            )
+        else:
+            strassen_multiply(a, b, c, ops=self._ops, workspace=ws)
+
+    def execute_batch(
+        self,
+        problems: list[GemmProblem],
+        cs: list,
+        timings: PhaseTimings | None = None,
+    ) -> list[np.ndarray]:
+        """Run validated same-geometry problems through the stacked path.
+
+        ``cs[i]`` is item ``i``'s output operand (or ``None``); results
+        come back in input order with full per-item ``alpha``/``beta``
+        semantics applied.
+        """
+        key = self.key
+        n_items = len(problems)
+        if n_items == 0:
+            return []
+        if n_items > self.cap:
+            raise PlanError(
+                f"batch of {n_items} exceeds this plan's capacity {self.cap}"
+            )
+        for p in problems:
+            if (p.m, p.k, p.n) != (key.m, key.k, key.n):
+                raise ShapeError(
+                    f"operands give GEMM dims {(p.m, p.k, p.n)}, but this "
+                    f"batch plan is compiled for {(key.m, key.k, key.n)}"
+                )
+            if (p.op_a, p.op_b) != (key.op_a, key.op_b):
+                raise PlanError(
+                    f"ops {(p.op_a.value, p.op_b.value)} do not match the "
+                    f"plan's {(key.op_a.value, key.op_b.value)}"
+                )
+        rec = PhaseTimings()
+        transpose_a = key.op_a is OpKind.TRANS
+        transpose_b = key.op_b is OpKind.TRANS
+        with self._lock:
+            fused0 = self._ops.fused_adds
+            pool = None
+            workers = 1
+            if key.schedule.parallel and n_items > 1:
+                pool = self.session._ensure_pool()
+                workers = key.schedule.workers or pool.workers
+            t0 = time.perf_counter()
+            saved = self._convert_in(
+                "a", [p.a for p in problems], self._a, transpose_a,
+                pool, workers,
+            )
+            saved += self._convert_in(
+                "b", [p.b for p in problems], self._b, transpose_b,
+                pool, workers,
+            )
+            t1 = time.perf_counter()
+            run_batch_stripes(
+                pool, n_items, self._run_stripe, workers,
+                name=f"batch-{key.m}x{key.k}x{key.n}",
+            )
+            t2 = time.perf_counter()
+            outs, saved_c = self._convert_out(n_items, pool, workers)
+            saved += saved_c
+            t3 = time.perf_counter()
+            fused_delta = self._ops.fused_adds - fused0
+        rec.to_morton = t1 - t0
+        rec.compute = t2 - t1
+        rec.from_morton = t3 - t2
+        if timings is not None:
+            timings.to_morton += rec.to_morton
+            timings.compute += rec.compute
+            timings.from_morton += rec.from_morton
+        self.session._record_batch_execution(
+            self, n_items, rec, saved, fused_delta
+        )
+        results = []
+        for p, c, d in zip(problems, cs, outs):
+            r = p.apply_scaling(d, c)
+            if c is not None and r is not c:
+                c[...] = r
+                r = c
+            results.append(r)
+        return results
+
+    # ----------------------------------------------------------- accounting
+
+    @property
+    def scratch_bytes(self) -> int:
+        """Recursion scratch bytes the stacked workspace holds."""
+        return self._ws.nbytes
+
+    @property
+    def _own_scratch_bytes(self) -> int:
+        return self.scratch_bytes
+
+    @property
+    def pooled_bytes(self) -> int:
+        """Bytes held by the stacked operand/product buffers and scratch.
+
+        Conversion tables are excluded: they live in the module-level
+        shared cache (:func:`repro.layout.convert.conversion_table`) and
+        may serve several plans at once.
+        """
+        return (
+            self._a.nbytes + self._b.nbytes + self._c.nbytes + self._ws.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        key = self.key
+        return (
+            f"BatchPlan({key.m}x{key.k}x{key.n} x{self.cap}, "
+            f"op=({key.op_a.value},{key.op_b.value}), {key.variant}, "
+            f"{key.memory}, {key.dtype})"
         )

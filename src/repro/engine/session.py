@@ -46,9 +46,16 @@ from ..core.strassen import strassen_multiply
 from ..core.truncation import TruncationPolicy
 from ..core.winograd import resolve_memory, winograd_multiply
 from ..core.workspace import Workspace
-from ..errors import PlanError
+from ..errors import BatchItemError, PlanError
 from ..layout.matrix import MortonMatrix
-from .plan import CompiledPlan, PlanKey, resolve_variant
+from .plan import (
+    BATCH_CAP_MAX,
+    BatchPlan,
+    CompiledPlan,
+    PlanKey,
+    batch_size_class,
+    resolve_variant,
+)
 
 __all__ = [
     "GemmSession",
@@ -85,6 +92,15 @@ class SessionStats:
     buffers), ``peak_scratch_bytes`` (high-water mark of *live* scratch
     across cached plans and pooled workspaces) and ``fused_adds``
     (``add3`` passes executed by low-memory schedules).
+
+    The stacked-batch path adds ``batched_executes`` (whole batches run
+    through a :class:`BatchPlan`'s single recursion), ``batch_items``
+    (items those batches contained — each also counts in ``executes``),
+    ``batch_fallbacks`` (same-geometry groups of two or more items that
+    had to fall back to the per-item thread pool — panelled geometry or
+    ``ip_overwrite``) and ``batch_convert_seconds_saved`` (layout
+    conversion time saved by table-driven batched gather/scatter against
+    each batch plan's measured per-item tile-loop baseline).
     """
 
     plan_hits: int = 0
@@ -105,6 +121,10 @@ class SessionStats:
     scratch_bytes_allocated: int = 0
     peak_scratch_bytes: int = 0
     fused_adds: int = 0
+    batched_executes: int = 0
+    batch_items: int = 0
+    batch_fallbacks: int = 0
+    batch_convert_seconds_saved: float = 0.0
 
 
 class GemmSession:
@@ -164,6 +184,7 @@ class GemmSession:
         self._owns_pool = False
         self._lock = threading.RLock()
         self._plans: "OrderedDict[PlanKey, CompiledPlan]" = OrderedDict()
+        self._batch_plans: "OrderedDict[tuple, BatchPlan]" = OrderedDict()
         self._workspaces: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -183,6 +204,10 @@ class GemmSession:
         self._scratch_live = 0
         self._scratch_peak = 0
         self._fused_adds = 0
+        self._batched_executes = 0
+        self._batch_items = 0
+        self._batch_fallbacks = 0
+        self._batch_convert_saved = 0.0
 
     # ---------------------------------------------------------- worker pool
 
@@ -216,6 +241,7 @@ class GemmSession:
                 self._pool = None
                 self._owns_pool = False
             self._plans.clear()
+            self._batch_plans.clear()
             self._workspaces.clear()
             self._scratch_live = 0
         if owned and pool is not None:
@@ -242,12 +268,16 @@ class GemmSession:
         parallel: bool = False,
         schedule: "Schedule | str | None" = None,
         memory: "str | None" = None,
+        dtype=None,
     ) -> CompiledPlan:
         """Return the cached plan for a geometry, compiling it on a miss."""
         key = self._make_key(
             m, k, n, op_a, op_b, policy, kernel, variant, parallel, schedule,
-            memory,
+            memory, dtype,
         )
+        return self._plan_from_key(key)
+
+    def _plan_from_key(self, key: PlanKey) -> CompiledPlan:
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
@@ -267,6 +297,33 @@ class GemmSession:
                 self._evictions += 1
             return plan
 
+    def _batch_plan(self, key: PlanKey, cap: int) -> BatchPlan:
+        """The cached stacked plan for ``(key, cap)``, compiling on a miss.
+
+        Batch plans live in their own LRU (bounded by the same
+        ``capacity``) but share the session's hit/miss/eviction counters
+        and byte accounting with :meth:`plan` — ``plans_cached`` counts
+        both kinds.
+        """
+        bkey = (key, cap)
+        with self._lock:
+            bp = self._batch_plans.get(bkey)
+            if bp is not None:
+                self._batch_plans.move_to_end(bkey)
+                self._hits += 1
+                bp._cache_hit = True
+                return bp
+            self._misses += 1
+            bp = BatchPlan(key, cap, self)
+            self._buffers_allocated += bp.buffers_allocated
+            self._track_scratch_alloc(bp._own_scratch_bytes)
+            self._batch_plans[bkey] = bp
+            while len(self._batch_plans) > self.capacity:
+                _, evicted = self._batch_plans.popitem(last=False)
+                self._scratch_live -= evicted._own_scratch_bytes
+                self._evictions += 1
+            return bp
+
     def _track_scratch_alloc(self, nbytes: int) -> None:
         """Record newly allocated recursion scratch (caller holds the lock)."""
         self._scratch_allocated += nbytes
@@ -276,7 +333,7 @@ class GemmSession:
 
     def _make_key(
         self, m, k, n, op_a, op_b, policy, kernel, variant, parallel, schedule,
-        memory=None,
+        memory=None, dtype=None,
     ) -> PlanKey:
         variant = (
             self.default_variant if variant is None else resolve_variant(variant)
@@ -309,6 +366,16 @@ class GemmSession:
                 "(leaf recursions would clobber shared operand quadrants); "
                 "use memory='two_temp' for a low-memory parallel schedule"
             )
+        if dtype is None:
+            dt_name = "float64"
+        else:
+            dt = np.dtype(dtype)
+            if dt not in (np.dtype(np.float64), np.dtype(np.float32)):
+                raise PlanError(
+                    f"unsupported dtype {dt}; the engine supports float64 "
+                    "and float32"
+                )
+            dt_name = dt.name
         return PlanKey(
             m=int(m),
             k=int(k),
@@ -321,6 +388,7 @@ class GemmSession:
             variant=variant,
             schedule=sched,
             memory=mem,
+            dtype=dt_name,
         )
 
     # ------------------------------------------------------------ execution
@@ -341,54 +409,179 @@ class GemmSession:
         schedule: "Schedule | str | None" = None,
         timings: PhaseTimings | None = None,
         memory: "str | None" = None,
+        dtype=None,
     ) -> np.ndarray:
         """``C <- alpha * op(A) . op(B) + beta * C`` through the plan cache.
 
         Identical contract (and bit-identical results) to
         :func:`repro.modgemm`; repeated same-geometry calls skip planning
         and buffer allocation entirely.  ``schedule`` selects the execution
-        mode and ``memory`` the recursion's scratch schedule (all modes
-        produce bit-identical results).
+        mode, ``memory`` the recursion's scratch schedule (all modes
+        produce bit-identical results) and ``dtype`` the computation
+        precision — ``float64`` (default) or ``float32``; the dtype is
+        part of the plan key, so both precisions of one geometry coexist
+        in the cache.
         """
         p = GemmProblem.create(
-            a, b, op_a=op_a, op_b=op_b, alpha=alpha, beta=beta, c=c
+            a, b, op_a=op_a, op_b=op_b, alpha=alpha, beta=beta, c=c,
+            dtype=dtype,
         )
         plan = self.plan(
             p.m, p.k, p.n, op_a=p.op_a, op_b=p.op_b,
             policy=policy, kernel=kernel, variant=variant,
-            parallel=parallel, schedule=schedule, memory=memory,
+            parallel=parallel, schedule=schedule, memory=memory, dtype=dtype,
         )
         return plan.execute_problem(p, c=c, timings=timings)
+
+    #: Option names an item dict (or ``**kwargs``) may carry in
+    #: :meth:`multiply_many`, beyond the operands ``a``/``b``/``c``.
+    _MANY_OPTS = frozenset((
+        "alpha", "beta", "op_a", "op_b", "policy", "kernel", "variant",
+        "parallel", "schedule", "memory", "dtype", "timings",
+    ))
 
     def multiply_many(
         self,
         problems,
         max_workers: int | None = None,
+        batch: "str | bool" = "auto",
         **kwargs,
     ) -> list[np.ndarray]:
-        """Batched dispatch: multiply ``[(a, b), (a, b, c), ...]`` pairs.
+        """Batched dispatch: multiply many problems, results in input order.
 
-        Items are ``(a, b)`` or ``(a, b, c)`` tuples; ``kwargs`` (``alpha``,
-        ``beta``, ``op_a``, ``policy``, ...) apply to every item.  Batches
-        run on a thread pool (BLAS leaf kernels and large ufuncs release
-        the GIL): items of different geometries overlap, while
-        same-geometry items serialise on their shared plan's lock, keeping
-        pooled buffers consistent.  Results are returned in input order.
+        Items are ``(a, b)`` / ``(a, b, c)`` tuples or dicts with ``a``,
+        ``b``, optional ``c``, and optional per-item overrides of any
+        ``kwargs`` option (``alpha``, ``beta``, ``op_a``, ``policy``,
+        ``memory``, ``dtype``, ...); ``kwargs`` apply to every item that
+        does not override them.
+
+        With ``batch="auto"`` (default) items are grouped by their full
+        plan key; every group of two or more well-behaved same-geometry
+        problems executes through one stacked :class:`BatchPlan` — a
+        *single* Winograd recursion over ``(B, ...)`` Morton stacks, with
+        ``tasks:`` schedules striping the batch axis across the worker
+        pool — bit-identical to per-item results.  Groups that cannot
+        stack (singletons, panelled geometries, ``memory="ip_overwrite"``)
+        fall back to the per-item thread pool (BLAS leaf kernels and
+        large ufuncs release the GIL); ``batch=False`` forces that legacy
+        path for every item.  On the fallback path, items of *different*
+        geometries overlap across threads, while same-geometry items
+        serialise on their shared plan's lock — that contention is exactly
+        what the stacked path removes.
+
+        A failing item raises :class:`BatchItemError` carrying its input
+        ``index`` (the original exception is chained); other items'
+        threads are not poisoned — the pool is drained before the error
+        propagates.
         """
+        if batch not in ("auto", True, False):
+            raise ValueError(
+                f"batch must be 'auto', True or False, got {batch!r}"
+            )
         items = list(problems)
+        specs = []
+        for i, item in enumerate(items):
+            try:
+                opts = dict(kwargs)
+                if isinstance(item, dict):
+                    opts.update(item)
+                    a = opts.pop("a")
+                    b = opts.pop("b")
+                    c = opts.pop("c", None)
+                else:
+                    if len(item) == 2:
+                        (a, b), c = item, None
+                    elif len(item) == 3:
+                        a, b, c = item
+                    else:
+                        raise ValueError(
+                            "expected an (a, b) or (a, b, c) item, got "
+                            f"{len(item)} elements"
+                        )
+                unknown = set(opts) - self._MANY_OPTS
+                if unknown:
+                    raise ValueError(
+                        f"unknown multiply_many option(s) {sorted(unknown)}"
+                    )
+                p = GemmProblem.create(
+                    a, b,
+                    op_a=opts.get("op_a", "n"), op_b=opts.get("op_b", "n"),
+                    alpha=opts.get("alpha", 1.0), beta=opts.get("beta", 0.0),
+                    c=c, dtype=opts.get("dtype"),
+                )
+                key = self._make_key(
+                    p.m, p.k, p.n, p.op_a, p.op_b,
+                    opts.get("policy"), opts.get("kernel"),
+                    opts.get("variant"), opts.get("parallel", False),
+                    opts.get("schedule"), opts.get("memory"),
+                    opts.get("dtype"),
+                )
+                specs.append((p, key, c, opts.get("timings")))
+            except Exception as exc:
+                raise BatchItemError(i, exc) from exc
 
-        def run(item) -> np.ndarray:
-            if len(item) == 2:
-                a, b = item
-                return self.multiply(a, b, **kwargs)
-            a, b, c = item
-            return self.multiply(a, b, c=c, **kwargs)
+        results: list = [None] * len(items)
+        groups: "OrderedDict[PlanKey, list[int]]" = OrderedDict()
+        for i, (_, key, _, _) in enumerate(specs):
+            groups.setdefault(key, []).append(i)
 
-        if max_workers == 1 or len(items) <= 1:
-            return [run(item) for item in items]
-        workers = max_workers if max_workers is not None else min(8, len(items))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run, items))
+        fallback: list[int] = []
+        for key, idxs in groups.items():
+            stackable = (
+                batch is not False
+                and len(idxs) > 1
+                and resolve_memory(key.memory) != "ip_overwrite"
+                and key.policy.plan(key.m, key.k, key.n) is not None
+            )
+            if not stackable:
+                if batch is not False and len(idxs) > 1:
+                    with self._lock:
+                        self._batch_fallbacks += 1
+                fallback.extend(idxs)
+                continue
+            for lo in range(0, len(idxs), BATCH_CAP_MAX):
+                chunk = idxs[lo : lo + BATCH_CAP_MAX]
+                bp = self._batch_plan(key, batch_size_class(len(chunk)))
+                outs = bp.execute_batch(
+                    [specs[i][0] for i in chunk],
+                    [specs[i][2] for i in chunk],
+                    timings=specs[chunk[0]][3],
+                )
+                for i, out in zip(chunk, outs):
+                    results[i] = out
+
+        if fallback:
+
+            def run(i: int) -> np.ndarray:
+                p, key, c, timings = specs[i]
+                try:
+                    plan = self._plan_from_key(key)
+                    return plan.execute_problem(p, c=c, timings=timings)
+                except Exception as exc:
+                    raise BatchItemError(i, exc) from exc
+
+            if max_workers == 1 or len(fallback) <= 1:
+                for i in fallback:
+                    results[i] = run(i)
+            else:
+                workers = (
+                    max_workers if max_workers is not None
+                    else min(8, len(fallback))
+                )
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    futures = [pool.submit(run, i) for i in fallback]
+                    # Drain everything before raising so a failing item
+                    # never leaves sibling threads orphaned mid-execute.
+                    error = None
+                    for i, fut in zip(fallback, futures):
+                        exc = fut.exception()
+                        if exc is None:
+                            results[i] = fut.result()
+                        elif error is None:
+                            error = exc
+                    if error is not None:
+                        raise error
+        return results
 
     def multiply_morton(
         self,
@@ -546,10 +739,28 @@ class GemmSession:
                 self._convert_saved += extras.convert_seconds_saved
                 self._fused_adds += extras.fused_adds
 
+    def _record_batch_execution(
+        self, plan: BatchPlan, n_items: int, rec: PhaseTimings,
+        saved: float, fused_adds: int,
+    ) -> None:
+        """Fold one stacked-batch execution into the session counters."""
+        with self._lock:
+            self._executes += n_items
+            self._batched_executes += 1
+            self._batch_items += n_items
+            self._batch_convert_saved += saved
+            if plan._cache_hit:
+                self._buffers_reused += n_items
+            self._timings.to_morton += rec.to_morton
+            self._timings.compute += rec.compute
+            self._timings.from_morton += rec.from_morton
+            self._fused_adds += fused_adds
+
     def stats(self) -> SessionStats:
         """A consistent snapshot of the instrumentation counters."""
         with self._lock:
             pooled = sum(p.pooled_bytes for p in self._plans.values())
+            pooled += sum(bp.pooled_bytes for bp in self._batch_plans.values())
             for ws, _, c_buf in self._workspaces.values():
                 pooled += c_buf.nbytes
                 if ws is not None:
@@ -569,7 +780,7 @@ class GemmSession:
                 plan_hits=self._hits,
                 plan_misses=self._misses,
                 plan_evictions=self._evictions,
-                plans_cached=len(self._plans),
+                plans_cached=len(self._plans) + len(self._batch_plans),
                 executes=self._executes,
                 buffers_reused=self._buffers_reused,
                 buffers_allocated=self._buffers_allocated,
@@ -584,12 +795,17 @@ class GemmSession:
                 scratch_bytes_allocated=self._scratch_allocated,
                 peak_scratch_bytes=self._scratch_peak,
                 fused_adds=self._fused_adds,
+                batched_executes=self._batched_executes,
+                batch_items=self._batch_items,
+                batch_fallbacks=self._batch_fallbacks,
+                batch_convert_seconds_saved=self._batch_convert_saved,
             )
 
     def clear(self) -> None:
         """Drop every cached plan and pooled workspace (counters survive)."""
         with self._lock:
             self._plans.clear()
+            self._batch_plans.clear()
             self._workspaces.clear()
             self._scratch_live = 0
 
@@ -598,7 +814,7 @@ class GemmSession:
         return (
             f"GemmSession(capacity={self.capacity}, plans={s.plans_cached}, "
             f"hits={s.plan_hits}, misses={s.plan_misses}, "
-            f"pooled={s.bytes_pooled} B)"
+            f"batched={s.batched_executes}, pooled={s.bytes_pooled} B)"
         )
 
 

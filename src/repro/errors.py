@@ -9,7 +9,9 @@ sites — and the seed test-suite — keep working unchanged.
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "ShapeError", "PlanError", "KernelError"]
+__all__ = [
+    "ReproError", "ShapeError", "PlanError", "KernelError", "BatchItemError",
+]
 
 
 class ReproError(ValueError):
@@ -40,3 +42,17 @@ class KernelError(ReproError):
     Raised by :func:`repro.blas.kernels.get_kernel` and by the variant
     resolution shared across ``modgemm`` and the engine.
     """
+
+
+class BatchItemError(ReproError):
+    """One item of a :meth:`GemmSession.multiply_many` batch failed.
+
+    ``index`` identifies the failing item in the input order; the original
+    exception is chained as ``__cause__``.  Raising this instead of the
+    bare cause means a single malformed item surfaces *which* item broke
+    without poisoning the rest of the batch dispatch.
+    """
+
+    def __init__(self, index: int, cause: BaseException) -> None:
+        super().__init__(f"multiply_many item {index} failed: {cause}")
+        self.index = index

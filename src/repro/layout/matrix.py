@@ -1,6 +1,6 @@
 """The Morton-ordered matrix container.
 
-A :class:`MortonMatrix` owns (or views) a flat float64 buffer holding the
+A :class:`MortonMatrix` owns (or views) a flat float buffer holding the
 padded matrix in the layout of the paper's Figure 1: quadrants in NW, NE,
 SW, SE order recursively, with ``tile_r x tile_c`` column-major leaf tiles.
 
@@ -9,6 +9,14 @@ that *every quadrant at every recursion level occupies a contiguous slice of
 the buffer*.  ``quadrant()`` therefore returns a zero-copy view, Winograd's
 matrix additions reduce to 1-D vector operations on whole buffers, and leaf
 tiles are contiguous no matter which tile size the truncation search picked.
+
+The same property makes a *batch* of same-geometry problems stackable:
+:class:`BatchMortonMatrix` stores ``batch`` Morton images as the rows of
+one ``(batch, padded_elems)`` array.  Every quadrant of the stack is then
+a ``(batch, quarter)`` column slice whose rows stay contiguous, so the
+Winograd additions remain single ufunc calls — now over the whole batch —
+and the stacked leaf tiles form a ``(batch, T, T)`` array that one batched
+``np.matmul`` multiplies in a single call.
 """
 
 from __future__ import annotations
@@ -16,10 +24,43 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
 from .padding import TileRange, Tiling, select_tiling
 
-__all__ = ["MortonMatrix"]
+__all__ = ["MortonMatrix", "BatchMortonMatrix", "staggered_buffer"]
+
+#: Base-address offset between sibling staggered allocations, in bytes:
+#: an odd multiple of the 64-byte cache line (65 lines), so that buffers
+#: whose mmap bases happen to land cache-congruent are shifted apart by
+#: an amount that is non-zero modulo every power-of-two cache size up to
+#: 2 MiB.  This is the paper's Section 4 conflict phenomenon applied to
+#: sibling buffers rather than quadrants: batch stacks are large
+#: power-of-two-multiple allocations, so without the stagger the same
+#: item's A/B/C rows (and workspace rows) can alias in every cache level.
+STAGGER_BYTES = 65 * 64
+
+
+def staggered_buffer(
+    shape: tuple, dtype, stagger: int = 0, zeros: bool = False,
+) -> np.ndarray:
+    """Allocate a C-contiguous array offset by ``stagger * STAGGER_BYTES``.
+
+    The returned array is a view into a slightly larger allocation (kept
+    alive through ``.base``) whose start is shifted by the stagger index —
+    give sibling buffers distinct indices and their base addresses can
+    never be mutually cache-set-congruent, whatever the allocator does.
+    ``stagger=0`` is a plain allocation.
+    """
+    dt = np.dtype(dtype)
+    offset = stagger * STAGGER_BYTES // dt.itemsize
+    if offset == 0:
+        return (np.zeros if zeros else np.empty)(shape, dtype=dt)
+    n = 1
+    for dim in shape:
+        n *= dim
+    raw = (np.zeros if zeros else np.empty)(n + offset, dtype=dt)
+    return raw[offset : offset + n].reshape(shape)
 
 
 @dataclass
@@ -87,7 +128,8 @@ class MortonMatrix:
 
     @classmethod
     def empty(
-        cls, rows: int, cols: int, tiling_r: Tiling, tiling_c: Tiling
+        cls, rows: int, cols: int, tiling_r: Tiling, tiling_c: Tiling,
+        dtype=np.float64,
     ) -> "MortonMatrix":
         """Uninitialised Morton matrix for the given per-dimension tilings."""
         if tiling_r.depth != tiling_c.depth:
@@ -96,7 +138,7 @@ class MortonMatrix:
                 "use layout.padding.select_common_tiling"
             )
         depth = tiling_r.depth
-        buf = np.empty((tiling_r.padded * tiling_c.padded,), dtype=np.float64)
+        buf = np.empty((tiling_r.padded * tiling_c.padded,), dtype=dtype)
         return cls(
             buf=buf,
             rows=rows,
@@ -108,9 +150,10 @@ class MortonMatrix:
 
     @classmethod
     def zeros(
-        cls, rows: int, cols: int, tiling_r: Tiling, tiling_c: Tiling
+        cls, rows: int, cols: int, tiling_r: Tiling, tiling_c: Tiling,
+        dtype=np.float64,
     ) -> "MortonMatrix":
-        out = cls.empty(rows, cols, tiling_r, tiling_c)
+        out = cls.empty(rows, cols, tiling_r, tiling_c, dtype=dtype)
         out.buf[:] = 0.0
         return out
 
@@ -259,5 +302,190 @@ class MortonMatrix:
         return (
             f"MortonMatrix({self.rows}x{self.cols}, padded "
             f"{self.padded_rows}x{self.padded_cols}, tile "
+            f"{self.tile_r}x{self.tile_c}, depth {self.depth})"
+        )
+
+
+@dataclass
+class BatchMortonMatrix:
+    """A stack of same-geometry Morton matrices, one per buffer row.
+
+    ``buf`` is ``(batch, padded_elems)`` with each row holding one item's
+    Morton image.  Because a quadrant is a contiguous element range of every
+    item, the stacked quadrant is the column slice ``buf[:, lo:hi]`` — still
+    a single strided array, so the Winograd additions stay single ufunc
+    calls over the whole batch.  Duck-types the subset of
+    :class:`MortonMatrix` the recursion uses (``quadrants``, ``depth``,
+    ``size``, ``leaf_view``); ``core.ops`` dispatches leaf products on the
+    ``batch`` attribute.
+    """
+
+    buf: np.ndarray  # (batch, padded_elems), rows contiguous
+    rows: int
+    cols: int
+    tile_r: int
+    tile_c: int
+    depth: int
+
+    # ---------------------------------------------------------------- shape
+
+    @property
+    def batch(self) -> int:
+        return self.buf.shape[0]
+
+    @property
+    def padded_rows(self) -> int:
+        return self.tile_r << self.depth
+
+    @property
+    def padded_cols(self) -> int:
+        return self.tile_c << self.depth
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical (unpadded) per-item shape."""
+        return (self.rows, self.cols)
+
+    @property
+    def size(self) -> int:
+        """Per-item buffer length (padded element count, cached)."""
+        return self._size
+
+    @property
+    def nbytes(self) -> int:
+        return self.buf.shape[0] * self.buf.shape[1] * self.buf.itemsize
+
+    def __post_init__(self) -> None:
+        if self.buf.ndim != 2:
+            raise ValueError("BatchMortonMatrix buffer must be 2-D")
+        # Quadrant/leaf views and the padded size are pure functions of the
+        # (immutable) geometry; they sit on every recursion step's hot
+        # path, so memoise them per instance — batch plans reuse the same
+        # stack objects across executions.
+        self._size = self.padded_rows * self.padded_cols
+        self._quads: "tuple[BatchMortonMatrix, ...] | None" = None
+        self._leaf: np.ndarray | None = None
+        if self.buf.shape[1] != self._size:
+            raise ValueError(
+                f"buffer rows have {self.buf.shape[1]} elements; tiling "
+                f"({self.tile_r}x{self.tile_c}, depth {self.depth}) needs {self.size}"
+            )
+
+    # ------------------------------------------------------------ factories
+
+    @classmethod
+    def zeros(
+        cls, batch: int, rows: int, cols: int,
+        tiling_r: Tiling, tiling_c: Tiling, dtype=np.float64,
+        stagger: int = 0,
+    ) -> "BatchMortonMatrix":
+        if tiling_r.depth != tiling_c.depth:
+            raise ValueError(
+                f"row depth {tiling_r.depth} != column depth {tiling_c.depth}; "
+                "use layout.padding.select_common_tiling"
+            )
+        buf = staggered_buffer(
+            (batch, tiling_r.padded * tiling_c.padded), dtype, stagger,
+            zeros=True,
+        )
+        return cls(
+            buf=buf,
+            rows=rows,
+            cols=cols,
+            tile_r=tiling_r.tile,
+            tile_c=tiling_c.tile,
+            depth=tiling_r.depth,
+        )
+
+    # ------------------------------------------------------------ structure
+
+    def quadrant(self, qr: int, qc: int) -> "BatchMortonMatrix":
+        """Zero-copy column-slice view of quadrant ``(qr, qc)`` for every item."""
+        if self.depth == 0:
+            raise ValueError("a leaf tile has no quadrants")
+        if qr not in (0, 1) or qc not in (0, 1):
+            raise ValueError(f"quadrant indices must be 0 or 1, got ({qr}, {qc})")
+        quarter = self.size // 4
+        z = (qr << 1) | qc  # NW, NE, SW, SE
+        sub = self.buf[:, z * quarter : (z + 1) * quarter]
+        return BatchMortonMatrix(
+            buf=sub,
+            rows=self.padded_rows // 2,
+            cols=self.padded_cols // 2,
+            tile_r=self.tile_r,
+            tile_c=self.tile_c,
+            depth=self.depth - 1,
+        )
+
+    def quadrants(self) -> tuple["BatchMortonMatrix", ...]:
+        """All four stacked quadrant views in (11, 12, 21, 22) numbering.
+
+        Memoised: repeated recursions over a pooled stack reuse the same
+        view objects (and, transitively, their cached leaf views).
+        """
+        if self._quads is None:
+            self._quads = (
+                self.quadrant(0, 0),
+                self.quadrant(0, 1),
+                self.quadrant(1, 0),
+                self.quadrant(1, 1),
+            )
+        return self._quads
+
+    def leaf_view(self) -> np.ndarray:
+        """``(batch, tile_c, tile_r)`` view: item ``i``'s slice is the
+        C-order image of that item's *transposed* leaf tile (the same
+        representation ``MortonMatrix.leaf_view().T`` exposes), which is
+        exactly what the batched kernel's ``matmul(Bt, At)`` trick wants.
+        May be a non-contiguous batch-stride view (two_temp aliasing slices
+        columns out of a wider buffer); rows themselves stay contiguous.
+        Memoised per instance (every leaf product re-requests it).
+        """
+        if self._leaf is not None:
+            return self._leaf
+        if self.depth != 0:
+            raise ValueError(f"leaf_view requires depth 0, got {self.depth}")
+        b = self.buf
+        elems = self.tile_r * self.tile_c
+        self._leaf = as_strided(
+            b,
+            shape=(b.shape[0], self.tile_c, self.tile_r),
+            strides=(b.strides[0], self.tile_r * b.strides[1], b.strides[1]),
+        ) if b.shape[1] != elems or not b.flags.c_contiguous else b.reshape(
+            b.shape[0], self.tile_c, self.tile_r
+        )
+        return self._leaf
+
+    def item(self, i: int) -> MortonMatrix:
+        """Per-item :class:`MortonMatrix` view of row ``i`` (zero-copy when
+        the batch rows are themselves contiguous)."""
+        row = self.buf[i]
+        if not row.flags.c_contiguous:  # pragma: no cover - defensive
+            row = np.ascontiguousarray(row)
+        return MortonMatrix(
+            buf=row,
+            rows=self.rows,
+            cols=self.cols,
+            tile_r=self.tile_r,
+            tile_c=self.tile_c,
+            depth=self.depth,
+        )
+
+    def stripe(self, lo: int, hi: int) -> "BatchMortonMatrix":
+        """Zero-copy view of batch rows ``[lo, hi)`` — the unit the
+        task-schedule path hands to each worker."""
+        return BatchMortonMatrix(
+            buf=self.buf[lo:hi],
+            rows=self.rows,
+            cols=self.cols,
+            tile_r=self.tile_r,
+            tile_c=self.tile_c,
+            depth=self.depth,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchMortonMatrix(batch={self.batch}, {self.rows}x{self.cols}, "
+            f"padded {self.padded_rows}x{self.padded_cols}, tile "
             f"{self.tile_r}x{self.tile_c}, depth {self.depth})"
         )
