@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke figures quick-figures clean
+# Per-test watchdog: use pytest-timeout when installed; otherwise
+# tests/conftest.py arms a stdlib faulthandler fallback with the same
+# 120 s budget, so hung concurrency tests abort with stack dumps.
+TIMEOUT_FLAGS := $(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null \
+	&& echo "--timeout=120 --timeout-method=thread")
+
+.PHONY: install test lint bench bench-smoke trace-demo figures quick-figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ $(TIMEOUT_FLAGS)
 
 lint:
 	$(PYTHON) -m ruff check src tests benchmarks examples
@@ -29,6 +35,11 @@ bench-smoke:
 	PYTHONPATH=src BENCH_BATCH_QUICK=1 $(PYTHON) -m pytest \
 		benchmarks/test_bench_batch.py -q
 	$(PYTHON) benchmarks/validate_bench_batch.py
+
+# Traced 513x513 multiply end to end; validates the dumped trace
+# document against TRACE_SCHEMA and prints a per-worker summary.
+trace-demo:
+	PYTHONPATH=src $(PYTHON) examples/trace_demo.py
 
 figures:
 	$(PYTHON) -m repro.experiments all

@@ -37,7 +37,9 @@ Sessions are the serving-workload API::
 
 from .errors import (
     ReproError, ShapeError, PlanError, KernelError, BatchItemError,
+    InvariantError,
 )
+from .observe import TraceEvent, Tracer, validate_trace
 from .blas.dgemm import GemmProblem, OpKind, dgemm_reference
 from .core.modgemm import modgemm, modgemm_morton, PhaseTimings
 from .core.truncation import TruncationPolicy
@@ -80,5 +82,9 @@ __all__ = [
     "PlanError",
     "KernelError",
     "BatchItemError",
+    "InvariantError",
+    "Tracer",
+    "TraceEvent",
+    "validate_trace",
     "__version__",
 ]

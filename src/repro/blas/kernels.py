@@ -39,6 +39,7 @@ __all__ = [
     "KERNELS",
     "get_kernel",
     "get_batch_kernel",
+    "guarded_kernel",
 ]
 
 
@@ -230,3 +231,29 @@ def get_batch_kernel(kernel: "str | LeafKernel") -> LeafKernel:
     if resolved is leaf_matmul:
         return leaf_matmul_batch
     return _loop_batch(resolved)
+
+
+def guarded_kernel(kernel: "str | LeafKernel") -> LeafKernel:
+    """Wrap a kernel with a NaN/Inf guard on its output (validation mode).
+
+    ``GemmSession(debug=True)`` routes every leaf product — single-tile
+    and batched — through this wrapper, so a non-finite value is reported
+    at the leaf that produced it (:class:`repro.errors.InvariantError`
+    with the tile shape) instead of surfacing, untraceably, after several
+    U-chain additions have smeared it across the output.  The guard never
+    changes the arithmetic: it runs the wrapped kernel unmodified and
+    only *reads* the result.
+    """
+    from ..observe.validate import check_finite  # deferred: avoid cycle
+
+    base = get_kernel(kernel)
+
+    def guarded(
+        a: np.ndarray, b: np.ndarray, out: np.ndarray, accumulate: bool = False
+    ) -> None:
+        base(a, b, out, accumulate=accumulate)
+        check_finite(out, label=getattr(base, "__name__", "kernel"))
+
+    guarded.__wrapped__ = base
+    guarded.__name__ = f"guarded[{getattr(base, '__name__', 'kernel')}]"
+    return guarded

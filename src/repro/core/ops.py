@@ -23,7 +23,12 @@ from typing import Protocol
 
 import numpy as np
 
-from ..blas.kernels import LeafKernel, get_batch_kernel, get_kernel
+from ..blas.kernels import (
+    LeafKernel,
+    get_batch_kernel,
+    get_kernel,
+    guarded_kernel,
+)
 from ..layout.matrix import MortonMatrix
 
 __all__ = ["WinogradOps", "NumpyOps", "FUSE_CHUNK_ELEMS"]
@@ -100,27 +105,57 @@ class NumpyOps:
     ``fused_adds`` counts :meth:`add3` passes (best-effort under concurrent
     task-graph use: the increment is not atomic, so a parallel run may
     undercount; sequential schedules are exact).
+
+    ``trace`` is an optional :class:`repro.observe.Tracer`: when set and
+    enabled, every addition pass emits an ``"add"`` event and every leaf
+    product a ``"leaf"`` event.  The disabled cost is one predicate check
+    per operation — neither timestamps nor events are produced.
+    ``validate=True`` (debug mode) wraps both leaf kernels with the
+    NaN/Inf guard of :func:`repro.blas.kernels.guarded_kernel`; the
+    arithmetic is untouched either way.
     """
 
-    def __init__(self, kernel: "str | LeafKernel" = "numpy") -> None:
+    def __init__(
+        self,
+        kernel: "str | LeafKernel" = "numpy",
+        trace=None,
+        validate: bool = False,
+    ) -> None:
         self.kernel = get_kernel(kernel)
         self.batch_kernel = get_batch_kernel(kernel)
+        if validate:
+            self.kernel = guarded_kernel(self.kernel)
+            self.batch_kernel = guarded_kernel(self.batch_kernel)
+        self.trace = trace
         self.fused_adds = 0
+
+    def _emit(self, label: str, dst: MortonMatrix) -> None:
+        """Trace one addition pass (callers pre-check ``trace.enabled``)."""
+        self.trace.emit("add", label=label, elems=int(dst.size))
 
     def add(self, dst: MortonMatrix, x: MortonMatrix, y: MortonMatrix) -> None:
         """``dst = x + y`` as one flat vector operation."""
         _same_size(dst, x, y)
         np.add(x.buf, y.buf, out=dst.buf)
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            self._emit("add", dst)
 
     def sub(self, dst: MortonMatrix, x: MortonMatrix, y: MortonMatrix) -> None:
         """``dst = x - y`` as one flat vector operation."""
         _same_size(dst, x, y)
         np.subtract(x.buf, y.buf, out=dst.buf)
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            self._emit("sub", dst)
 
     def iadd(self, dst: MortonMatrix, x: MortonMatrix) -> None:
         """``dst += x`` in place."""
         _same_size(dst, x)
         dst.buf += x.buf
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            self._emit("iadd", dst)
 
     def add3(
         self, dst: MortonMatrix, x: MortonMatrix, y: MortonMatrix, z: MortonMatrix

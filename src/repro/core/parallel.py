@@ -45,6 +45,7 @@ from ..blas.kernels import LeafKernel
 from ..layout.matrix import MortonMatrix
 from .ops import NumpyOps, WinogradOps
 from .scheduler import TaskGraph, WorkerPool, stripe_ranges
+from ..observe.validate import POISON
 from .winograd import _check_conformable, _recurse, _recurse_two_temp, resolve_memory
 from .workspace import Workspace
 
@@ -133,6 +134,12 @@ class _WorkspacePool:
             self._cond.notify()
 
     @property
+    def all_free(self) -> bool:
+        """True when every workspace has been returned (pool quiescent)."""
+        with self._cond:
+            return len(self._free) == self.size
+
+    @property
     def total_bytes(self) -> int:
         # Stable: workspaces in flight return before anyone reads stats.
         return sum(ws.total_bytes for ws in self._free)
@@ -215,6 +222,33 @@ class TaskScratch:
             and t.tile_r == b.tile_r and t.tile_c == b.tile_c
         )
 
+    def _buffers(self):
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for mm in node.s + node.t + node.p:
+                yield mm.buf
+            if node.children is not None:
+                stack.extend(node.children)
+
+    def poison(self, value: float = POISON) -> None:
+        """Fill the expansion-tree buffers and idle leaf workspaces.
+
+        Call only between executions (the workspace pool must be fully
+        free): every one of these buffers is write-before-read within a
+        run, so the fill cannot perturb results.
+        """
+        for buf in self._buffers():
+            buf.fill(value)
+        for ws in self.workspace_pool._free:
+            ws.poison(value)
+
+    def poison_intact(self, value: float = POISON) -> bool:
+        """True iff no pooled buffer changed since :meth:`poison`."""
+        return all(
+            bool((buf == value).all()) for buf in self._buffers()
+        ) and all(ws.poison_intact(value) for ws in self.workspace_pool._free)
+
     @property
     def total_bytes(self) -> int:
         """Bytes held across all pooled buffers and leaf workspaces."""
@@ -263,6 +297,7 @@ def build_winograd_graph(
     if ops is None:
         ops = NumpyOps()
     graph = TaskGraph(name=f"winograd-{a.rows}x{a.cols}x{b.cols}")
+    graph.tracer = getattr(ops, "trace", None)
     _expand(graph, ops, scratch, a, b, c, scratch.root,
             scratch.parallel_depth, (), ())
     return graph
@@ -356,6 +391,7 @@ def run_batch_stripes(
     stripe_fn,
     workers: int,
     name: str = "batch-stripes",
+    tracer=None,
 ) -> int:
     """Run ``stripe_fn(lo, hi)`` over even stripes of ``range(batch)``.
 
@@ -368,17 +404,26 @@ def run_batch_stripes(
     (each item's arithmetic is unchanged; only which rows share a ufunc
     call varies).  Returns the number of stripes executed.  With no pool
     (or a single stripe) the stripes run inline.
+
+    ``tracer`` (a :class:`repro.observe.Tracer`) receives one
+    ``batch_stripe`` event per completed stripe and, on the pooled path,
+    the worker start/steal/finish events of the throwaway stripe graph.
     """
     stripes = stripe_ranges(batch, workers)
 
     def job(lo: int, hi: int):
-        return lambda: stripe_fn(lo, hi)
+        def run():
+            stripe_fn(lo, hi)
+            if tracer is not None and tracer.enabled:
+                tracer.emit("batch_stripe", label=name, lo=lo, hi=hi)
+
+        return run
 
     if pool is None or len(stripes) <= 1:
         for lo, hi in stripes:
-            stripe_fn(lo, hi)
+            job(lo, hi)()
         return len(stripes)
-    pool.run_all([job(lo, hi) for lo, hi in stripes], name=name)
+    pool.run_all([job(lo, hi) for lo, hi in stripes], name=name, tracer=tracer)
     return len(stripes)
 
 

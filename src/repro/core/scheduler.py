@@ -34,6 +34,8 @@ from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
 
+from ..errors import InvariantError
+
 __all__ = [
     "Schedule", "Task", "TaskGraph", "GraphRun", "WorkerPool", "stripe_ranges",
 ]
@@ -157,6 +159,9 @@ class TaskGraph:
         self.name = name
         self.tasks: list[Task] = []
         self._roots: list[Task] = []
+        #: Optional :class:`repro.observe.Tracer` receiving worker events
+        #: for this graph's runs (set by the graph builder; never required).
+        self.tracer = None
         # -- per-run state, reset by prepare() --
         self._unfinished = 0
         self._running = 0
@@ -253,12 +258,18 @@ class WorkerPool:
     threads deterministically.
     """
 
+    #: Class-level thread-local: ``_ids.pool`` is the pool whose worker the
+    #: current thread is (any pool — deliberately shared across instances,
+    #: so cross-pool submissions are detected too; see :meth:`run`).
     _ids = threading.local()
 
-    def __init__(self, workers: int, name: str = "repro-worker") -> None:
+    def __init__(
+        self, workers: int, name: str = "repro-worker", validate: bool = False
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
+        self.validate = bool(validate)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._inject: deque = deque()
@@ -279,10 +290,15 @@ class WorkerPool:
     def run(self, graph: TaskGraph) -> GraphRun:
         """Execute ``graph`` to completion; re-raise the first task error.
 
-        Blocks the calling thread (which must not be one of this pool's
-        workers — those fall back to an inline run to keep the pool live).
+        Blocks the calling thread (which must not be one of *any* pool's
+        workers — those fall back to an inline run).  The guard covers
+        cross-pool submissions too: a worker of pool A blocking inside
+        ``B.run`` can deadlock the pair (each pool's workers all waiting on
+        graphs only the other pool will execute), and ``_ids`` being a
+        class-level thread-local is exactly what lets any pool recognise
+        any other pool's worker thread.
         """
-        if getattr(self._ids, "pool", None) is self:
+        if getattr(WorkerPool._ids, "pool", None) is not None:
             return graph.run_inline()
         graph.prepare()
         t0 = perf_counter()
@@ -299,9 +315,10 @@ class WorkerPool:
             tasks=len(graph.tasks), wall=wall, busy=graph._busy, workers=self.workers
         )
 
-    def run_all(self, fns, name: str = "batch") -> GraphRun:
+    def run_all(self, fns, name: str = "batch", tracer=None) -> GraphRun:
         """Run independent callables as a throwaway single-phase graph."""
         graph = TaskGraph(name)
+        graph.tracer = tracer
         for fn in fns:
             graph.add(fn)
         return self.run(graph)
@@ -309,16 +326,21 @@ class WorkerPool:
     # -------------------------------------------------------------- workers
 
     def _pop(self, i: int):
-        """Next (graph, task) under the lock: own LIFO, steal FIFO, inject."""
+        """Next ``(graph, task, stolen)`` under the lock.
+
+        Order: own deque LIFO, steal FIFO from the others, then the shared
+        injection queue.  ``stolen`` records the provenance for the trace
+        (only a take from *another worker's* deque counts as a steal).
+        """
         own = self._local[i]
         if own:
-            return own.pop()
+            return (*own.pop(), False)
         for j in range(self.workers):
             other = self._local[(i + j + 1) % self.workers]
             if other:
-                return other.popleft()
+                return (*other.popleft(), True)
         if self._inject:
-            return self._inject.popleft()
+            return (*self._inject.popleft(), False)
         return None
 
     def _purge(self, graph: TaskGraph) -> None:
@@ -341,23 +363,50 @@ class WorkerPool:
                     item = self._pop(i)
                 if item is None:
                     return
-                graph, task = item
+                graph, task, stolen = item
                 graph._running += 1
                 cancelled = graph._failed
             err = None
             elapsed = 0.0
+            tr = None if cancelled else graph.tracer
+            if tr is not None and not tr.enabled:
+                tr = None
             if not cancelled:
+                if tr is not None:
+                    tr.emit(
+                        "worker_steal" if stolen else "worker_start",
+                        label=task.label or graph.name,
+                        worker=i,
+                        task=task.index,
+                    )
                 t0 = perf_counter()
                 try:
                     task.fn()
                 except BaseException as exc:  # noqa: BLE001 - forwarded to caller
                     err = exc
                 elapsed = perf_counter() - t0
+                if tr is not None:
+                    tr.emit(
+                        "worker_finish",
+                        label=task.label or graph.name,
+                        worker=i,
+                        task=task.index,
+                        seconds=elapsed,
+                        failed=err is not None,
+                    )
             with self._cond:
                 self.tasks_completed += 1
                 graph._busy += elapsed
                 graph._running -= 1
                 graph._unfinished -= 1
+                if self.validate and (graph._unfinished < 0 or graph._running < 0):
+                    err = err or InvariantError(
+                        f"task graph {graph.name!r} accounting out of balance: "
+                        f"unfinished={graph._unfinished}, "
+                        f"running={graph._running} after task "
+                        f"{task.index} — a task was double-queued or "
+                        "double-completed"
+                    )
                 if err is not None and not graph._failed:
                     graph._failed = True
                     graph._error = err
@@ -383,9 +432,33 @@ class WorkerPool:
     # ------------------------------------------------------------ lifecycle
 
     def shutdown(self) -> None:
-        """Stop the workers once their queues drain.  Idempotent."""
+        """Stop the workers; cancel queued graphs and wake their callers.
+
+        Idempotent.  Any graph with tasks still *queued* (not yet picked
+        up by a worker) is failed with ``RuntimeError("worker pool has
+        been shut down")`` and its caller's ``graph._done.wait()`` is
+        released — without this, workers exit with the queues non-empty
+        and every such caller blocks forever.  Graphs whose remaining
+        tasks are already executing drain normally: workers keep popping
+        their deques after the shutdown flag is set, and only exit once
+        :meth:`_pop` comes up empty.
+        """
         with self._cond:
             self._shutdown = True
+            queued: list[TaskGraph] = []
+            for q in (self._inject, *self._local):
+                for g, _ in q:
+                    if not g._failed and g not in queued:
+                        queued.append(g)
+            for g in queued:
+                g._failed = True
+                g._error = RuntimeError("worker pool has been shut down")
+                self._purge(g)
+                # With nothing executing, no worker will ever revisit this
+                # graph — release the caller here.  Otherwise the last
+                # in-flight task's completion path sets _done.
+                if g._running == 0:
+                    g._done.set()
             self._cond.notify_all()
         for t in self._threads:
             if t is not threading.current_thread():

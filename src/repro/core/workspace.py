@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..layout.matrix import BatchMortonMatrix, MortonMatrix, staggered_buffer
+from ..observe.validate import POISON
 
 __all__ = ["Workspace", "BatchWorkspace", "WORKSPACE_SCHEDULES"]
 
@@ -155,6 +156,26 @@ class Workspace:
     def total_bytes(self) -> int:
         """Backwards-compatible alias for :attr:`nbytes`."""
         return self.nbytes
+
+    def _buffers(self):
+        for lv in self.levels:
+            for mm in (lv.s, lv.t, lv.p, lv.q):
+                if mm is not None:
+                    yield mm.buf
+
+    def poison(self, value: float = POISON) -> None:
+        """Fill every scratch buffer with the quiescence sentinel.
+
+        Debug mode calls this after each execution; every buffer is
+        write-before-read within an execution, so the fill never changes
+        results.  Aliased ``two_temp`` views are filled twice, harmlessly.
+        """
+        for buf in self._buffers():
+            buf.fill(value)
+
+    def poison_intact(self, value: float = POISON) -> bool:
+        """True iff no scratch element changed since :meth:`poison`."""
+        return all(bool((buf == value).all()) for buf in self._buffers())
 
 
 class _BatchLevel:
@@ -311,3 +332,18 @@ class BatchWorkspace:
     @property
     def total_bytes(self) -> int:
         return self.nbytes
+
+    def _buffers(self):
+        for raw in self._raw:
+            for name, arr in raw.items():
+                if name != "_depth":
+                    yield arr
+
+    def poison(self, value: float = POISON) -> None:
+        """Fill every stacked scratch row with the quiescence sentinel."""
+        for arr in self._buffers():
+            arr.fill(value)
+
+    def poison_intact(self, value: float = POISON) -> bool:
+        """True iff no stacked scratch element changed since :meth:`poison`."""
+        return all(bool((arr == value).all()) for arr in self._buffers())

@@ -45,7 +45,7 @@ from ..core.strassen import strassen_multiply
 from ..core.truncation import TruncationPolicy
 from ..core.winograd import resolve_memory, winograd_multiply
 from ..core.workspace import BatchWorkspace, Workspace
-from ..errors import KernelError, PlanError, ShapeError
+from ..errors import BatchItemError, InvariantError, KernelError, PlanError, ShapeError
 from ..layout.convert import (
     ConversionTable,
     conversion_table,
@@ -56,6 +56,7 @@ from ..layout.convert import (
 )
 from ..layout.matrix import BatchMortonMatrix, MortonMatrix
 from ..layout.padding import Tiling
+from ..observe.validate import check_pad_zero, check_quiescent
 
 __all__ = [
     "PlanKey", "CompiledPlan", "BatchPlan", "batch_size_class",
@@ -218,7 +219,13 @@ class CompiledPlan:
         self.session = session
         self._lock = threading.Lock()
         self._cache_hit = False  # updated by the session on each lookup
-        self._ops = NumpyOps(key.kernel)
+        self._debug = bool(getattr(session, "debug", False))
+        self._poisoned = False  # scratch poison-filled since the last run
+        self._ops = NumpyOps(
+            key.kernel,
+            trace=getattr(session, "trace", None),
+            validate=self._debug,
+        )
         #: np.float64 buffers allocated while compiling (operands, product,
         #: workspace levels, task scratch) — constant afterwards.
         self.buffers_allocated = 0
@@ -405,6 +412,12 @@ class CompiledPlan:
         else:
             run_indexed(table)
         elapsed = time.perf_counter() - t0
+        tr = self._ops.trace
+        if tr is not None and tr.enabled:
+            tr.emit(
+                "convert", label=name, seconds=elapsed,
+                indexed=table is not None,
+            )
         if site is not None:
             saved = site.observe(elapsed)
             if table is not None and extras is not None:
@@ -417,6 +430,8 @@ class CompiledPlan:
     ) -> np.ndarray:
         key = self.key
         with self._lock:
+            if self._debug:
+                self._debug_pre()
             fused0 = self._ops.fused_adds
             pool = workers = None
             if self._graph is not None:
@@ -450,6 +465,12 @@ class CompiledPlan:
                 ),
             )
             t1 = time.perf_counter()
+            if self._debug:
+                # Phase boundary: operands are converted, compute has not
+                # started.  Both pads must be exactly zero here (the
+                # ip_overwrite re-zero above included).
+                check_pad_zero(self._a_mm, "a")
+                check_pad_zero(self._b_mm, "b")
             if self._graph is not None:
                 run = pool.run(self._graph)
                 if extras is not None:
@@ -481,10 +502,50 @@ class CompiledPlan:
             t3 = time.perf_counter()
             if extras is not None:
                 extras.fused_adds += self._ops.fused_adds - fused0
+            if self._debug:
+                self._debug_post()
         rec.to_morton += t1 - t0
         rec.compute += t2 - t1
         rec.from_morton += t3 - t2
         return d
+
+    # ----------------------------------------------------- debug invariants
+
+    def _debug_pre(self) -> None:
+        """Phase-boundary checks before buffer reuse (lock held).
+
+        Verifies the pooled scratch is exactly as the previous execution's
+        :meth:`_debug_post` left it — wholly poison-filled — and that every
+        leaf workspace has been returned to its pool.  A violation means
+        something wrote to this plan's buffers *between* executions, which
+        the per-plan locking discipline must never allow.
+        """
+        if self._tscratch is not None and not (
+            self._tscratch.workspace_pool.all_free
+        ):
+            raise InvariantError(
+                "leaf workspace pool is not fully free between executions: "
+                "a previous run leaked a workspace or a task is still "
+                "holding one"
+            )
+        if self._poisoned:
+            if self._workspace is not None:
+                check_quiescent(self._workspace, "workspace")
+            if self._tscratch is not None:
+                check_quiescent(self._tscratch, "task-scratch")
+
+    def _debug_post(self) -> None:
+        """Poison-fill the scratch after an execution (lock held).
+
+        Every scratch buffer is write-before-read within an execution, so
+        the fill never changes results — it only arms the next
+        :meth:`_debug_pre` quiescence check.
+        """
+        if self._workspace is not None:
+            self._workspace.poison()
+        if self._tscratch is not None:
+            self._tscratch.poison()
+        self._poisoned = True
 
     def _panelled_product(
         self, p: GemmProblem, rec: PhaseTimings,
@@ -624,7 +685,13 @@ class BatchPlan:
             )
         tm, tk, tn = self.tilings
         dt = key.np_dtype
-        self._ops = NumpyOps(key.kernel)
+        self._debug = bool(getattr(session, "debug", False))
+        self._poisoned = False
+        self._ops = NumpyOps(
+            key.kernel,
+            trace=getattr(session, "trace", None),
+            validate=self._debug,
+        )
         # Stacks are large power-of-two-multiple allocations; distinct
         # stagger indices keep same-item rows of A/B/C (and the workspace
         # buffers, which continue the sequence) from ever landing
@@ -745,36 +812,55 @@ class BatchPlan:
         problems: list[GemmProblem],
         cs: list,
         timings: PhaseTimings | None = None,
+        indices=None,
     ) -> list[np.ndarray]:
         """Run validated same-geometry problems through the stacked path.
 
         ``cs[i]`` is item ``i``'s output operand (or ``None``); results
         come back in input order with full per-item ``alpha``/``beta``
         semantics applied.
+
+        ``indices`` maps chunk positions back to the *caller's* item
+        numbering (``indices[i]`` is the input index of ``problems[i]``;
+        defaults to ``0..n-1``).  Any failure attributable to one item —
+        geometry validation, output scaling — raises
+        :class:`repro.errors.BatchItemError` carrying that input index
+        with the original exception chained; a multi-item failure reports
+        the smallest affected index.  Whatever happens, the pooled stacks
+        are left quiescent (the lock is released only at phase
+        boundaries), so the plan stays reusable after an error.
         """
         key = self.key
         n_items = len(problems)
         if n_items == 0:
             return []
+        if indices is None:
+            indices = range(n_items)
         if n_items > self.cap:
             raise PlanError(
                 f"batch of {n_items} exceeds this plan's capacity {self.cap}"
             )
-        for p in problems:
+        for i, p in enumerate(problems):
             if (p.m, p.k, p.n) != (key.m, key.k, key.n):
-                raise ShapeError(
+                cause = ShapeError(
                     f"operands give GEMM dims {(p.m, p.k, p.n)}, but this "
                     f"batch plan is compiled for {(key.m, key.k, key.n)}"
                 )
+                raise BatchItemError(indices[i], cause) from cause
             if (p.op_a, p.op_b) != (key.op_a, key.op_b):
-                raise PlanError(
+                cause = PlanError(
                     f"ops {(p.op_a.value, p.op_b.value)} do not match the "
                     f"plan's {(key.op_a.value, key.op_b.value)}"
                 )
+                raise BatchItemError(indices[i], cause) from cause
         rec = PhaseTimings()
         transpose_a = key.op_a is OpKind.TRANS
         transpose_b = key.op_b is OpKind.TRANS
+        tr = self._ops.trace
         with self._lock:
+            if self._debug:
+                if self._poisoned:
+                    check_quiescent(self._ws, "batch-workspace")
             fused0 = self._ops.fused_adds
             pool = None
             workers = 1
@@ -791,15 +877,35 @@ class BatchPlan:
                 pool, workers,
             )
             t1 = time.perf_counter()
+            if tr is not None and tr.enabled:
+                tr.emit(
+                    "convert", label="batch-in", seconds=t1 - t0,
+                    items=n_items, indexed=bool(self._tables),
+                )
+            if self._debug:
+                # Phase boundary: every occupied stack row's pad must be
+                # exactly zero before the shared recursion runs over it.
+                for i in range(n_items):
+                    check_pad_zero(self._a.item(i), f"a[{indices[i]}]")
+                    check_pad_zero(self._b.item(i), f"b[{indices[i]}]")
             run_batch_stripes(
                 pool, n_items, self._run_stripe, workers,
                 name=f"batch-{key.m}x{key.k}x{key.n}",
+                tracer=tr,
             )
             t2 = time.perf_counter()
             outs, saved_c = self._convert_out(n_items, pool, workers)
             saved += saved_c
             t3 = time.perf_counter()
+            if tr is not None and tr.enabled:
+                tr.emit(
+                    "convert", label="batch-out", seconds=t3 - t2,
+                    items=n_items, indexed="c" in self._tables,
+                )
             fused_delta = self._ops.fused_adds - fused0
+            if self._debug:
+                self._ws.poison()
+                self._poisoned = True
         rec.to_morton = t1 - t0
         rec.compute = t2 - t1
         rec.from_morton = t3 - t2
@@ -811,12 +917,25 @@ class BatchPlan:
             self, n_items, rec, saved, fused_delta
         )
         results = []
-        for p, c, d in zip(problems, cs, outs):
-            r = p.apply_scaling(d, c)
-            if c is not None and r is not c:
-                c[...] = r
-                r = c
+        first_err: BatchItemError | None = None
+        for i, (p, c, d) in enumerate(zip(problems, cs, outs)):
+            try:
+                r = p.apply_scaling(d, c)
+                if c is not None and r is not c:
+                    c[...] = r
+                    r = c
+            except Exception as exc:  # noqa: BLE001 - re-raised with index
+                # Finish the remaining items (their outputs are already
+                # computed) before reporting the smallest failing index.
+                if first_err is None:
+                    err = BatchItemError(indices[i], exc)
+                    err.__cause__ = exc
+                    first_err = err
+                results.append(None)
+                continue
             results.append(r)
+        if first_err is not None:
+            raise first_err
         return results
 
     # ----------------------------------------------------------- accounting

@@ -48,6 +48,7 @@ from ..core.winograd import resolve_memory, winograd_multiply
 from ..core.workspace import Workspace
 from ..errors import BatchItemError, PlanError
 from ..layout.matrix import MortonMatrix
+from ..observe.trace import Tracer
 from .plan import (
     BATCH_CAP_MAX,
     BatchPlan,
@@ -153,6 +154,23 @@ class GemmSession:
     pool:
         An existing :class:`WorkerPool` to share between sessions; the
         session then never creates (nor shuts down) its own.
+    trace:
+        ``True`` starts the session with event tracing enabled.  Every
+        session owns a :class:`repro.observe.Tracer` at ``session.trace``
+        regardless; it can be enabled/disabled at any time
+        (``session.trace.enable()``).  Disabled tracing costs one
+        predicate check per instrumented site.
+    trace_capacity:
+        Ring-buffer capacity of the session's tracer (events beyond it
+        displace the oldest, which are counted in ``trace.dropped``).
+    debug:
+        Arm validation mode: invariant checks at phase boundaries —
+        operand-pad zeroing, workspace quiescence (poison-fill between
+        executions), NaN/Inf guards on leaf products, and task-graph
+        accounting checks in the worker pool.  Violations raise
+        :class:`repro.errors.InvariantError`.  Results are bit-identical
+        to a non-debug session; expect a substantial slowdown.  Fixed at
+        construction (plans bake the guards in at compile time).
     """
 
     def __init__(
@@ -165,12 +183,17 @@ class GemmSession:
         max_workers: int | None = None,
         pool: WorkerPool | None = None,
         memory: "str | None" = None,
+        trace: bool = False,
+        trace_capacity: int = 8192,
+        debug: bool = False,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.capacity = capacity
+        self.trace = Tracer(capacity=trace_capacity, enabled=bool(trace))
+        self.debug = bool(debug)
         self.default_policy = TruncationPolicy.coerce(policy)
         self.default_kernel = get_kernel(kernel)
         self.default_variant = resolve_variant(variant)
@@ -223,7 +246,10 @@ class GemmSession:
         """The session's worker pool, created lazily on first parallel use."""
         with self._lock:
             if self._pool is None:
-                self._pool = WorkerPool(self._pool_size(), name="repro-session")
+                self._pool = WorkerPool(
+                    self._pool_size(), name="repro-session",
+                    validate=self.debug,
+                )
                 self._owns_pool = True
             return self._pool
 
@@ -277,13 +303,19 @@ class GemmSession:
         )
         return self._plan_from_key(key)
 
+    def _plan_key_label(self, key: PlanKey) -> str:
+        return f"{key.m}x{key.k}x{key.n}:{key.variant}:{key.memory}"
+
     def _plan_from_key(self, key: PlanKey) -> CompiledPlan:
+        tr = self.trace
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
                 self._plans.move_to_end(key)
                 self._hits += 1
                 plan._cache_hit = True
+                if tr.enabled:
+                    tr.emit("plan_hit", label=self._plan_key_label(key))
                 return plan
             self._misses += 1
             plan = CompiledPlan(key, self)
@@ -291,10 +323,17 @@ class GemmSession:
             self._buffers_allocated += plan.buffers_allocated
             self._track_scratch_alloc(plan._own_scratch_bytes)
             self._plans[key] = plan
+            if tr.enabled:
+                tr.emit(
+                    "plan_compile", label=self._plan_key_label(key),
+                    buffers=plan.buffers_allocated,
+                )
             while len(self._plans) > self.capacity:
-                _, evicted = self._plans.popitem(last=False)
+                ekey, evicted = self._plans.popitem(last=False)
                 self._scratch_live -= evicted._own_scratch_bytes
                 self._evictions += 1
+                if tr.enabled:
+                    tr.emit("plan_evict", label=self._plan_key_label(ekey))
             return plan
 
     def _batch_plan(self, key: PlanKey, cap: int) -> BatchPlan:
@@ -306,22 +345,39 @@ class GemmSession:
         both kinds.
         """
         bkey = (key, cap)
+        tr = self.trace
         with self._lock:
             bp = self._batch_plans.get(bkey)
             if bp is not None:
                 self._batch_plans.move_to_end(bkey)
                 self._hits += 1
                 bp._cache_hit = True
+                if tr.enabled:
+                    tr.emit(
+                        "plan_hit",
+                        label=f"{self._plan_key_label(key)}x{cap}",
+                    )
                 return bp
             self._misses += 1
             bp = BatchPlan(key, cap, self)
             self._buffers_allocated += bp.buffers_allocated
             self._track_scratch_alloc(bp._own_scratch_bytes)
             self._batch_plans[bkey] = bp
+            if tr.enabled:
+                tr.emit(
+                    "plan_compile",
+                    label=f"{self._plan_key_label(key)}x{cap}",
+                    buffers=bp.buffers_allocated,
+                )
             while len(self._batch_plans) > self.capacity:
-                _, evicted = self._batch_plans.popitem(last=False)
+                (ekey, ecap), evicted = self._batch_plans.popitem(last=False)
                 self._scratch_live -= evicted._own_scratch_bytes
                 self._evictions += 1
+                if tr.enabled:
+                    tr.emit(
+                        "plan_evict",
+                        label=f"{self._plan_key_label(ekey)}x{ecap}",
+                    )
             return bp
 
     def _track_scratch_alloc(self, nbytes: int) -> None:
@@ -470,9 +526,14 @@ class GemmSession:
         what the stacked path removes.
 
         A failing item raises :class:`BatchItemError` carrying its input
-        ``index`` (the original exception is chained); other items'
-        threads are not poisoned — the pool is drained before the error
-        propagates.
+        ``index`` — the position of the item in ``problems``, on *both*
+        the stacked and the fallback path, whatever chunk or group the
+        item landed in (the original exception is chained).  Other items
+        are unaffected: every remaining group and chunk still executes,
+        fallback threads are drained, and with several failures the
+        smallest input index is the one reported — so the error is
+        deterministic and the session's pooled stacks are quiescent when
+        it propagates.
         """
         if batch not in ("auto", True, False):
             raise ValueError(
@@ -525,6 +586,16 @@ class GemmSession:
         for i, (_, key, _, _) in enumerate(specs):
             groups.setdefault(key, []).append(i)
 
+        errors: dict[int, BatchItemError] = {}
+
+        def record(exc: BaseException, default_index: int) -> None:
+            """File an item failure under its input index (keep the first)."""
+            if not isinstance(exc, BatchItemError):
+                wrapped = BatchItemError(default_index, exc)
+                wrapped.__cause__ = exc
+                exc = wrapped
+            errors.setdefault(exc.index, exc)
+
         fallback: list[int] = []
         for key, idxs in groups.items():
             stackable = (
@@ -541,12 +612,20 @@ class GemmSession:
                 continue
             for lo in range(0, len(idxs), BATCH_CAP_MAX):
                 chunk = idxs[lo : lo + BATCH_CAP_MAX]
-                bp = self._batch_plan(key, batch_size_class(len(chunk)))
-                outs = bp.execute_batch(
-                    [specs[i][0] for i in chunk],
-                    [specs[i][2] for i in chunk],
-                    timings=specs[chunk[0]][3],
-                )
+                try:
+                    bp = self._batch_plan(key, batch_size_class(len(chunk)))
+                    outs = bp.execute_batch(
+                        [specs[i][0] for i in chunk],
+                        [specs[i][2] for i in chunk],
+                        timings=specs[chunk[0]][3],
+                        indices=chunk,
+                    )
+                except Exception as exc:  # noqa: BLE001 - filed per item
+                    # Keep draining the remaining chunks and groups: their
+                    # items are independent, and completing them leaves
+                    # every pooled stack quiescent before we raise.
+                    record(exc, chunk[0])
+                    continue
                 for i, out in zip(chunk, outs):
                     results[i] = out
 
@@ -562,7 +641,10 @@ class GemmSession:
 
             if max_workers == 1 or len(fallback) <= 1:
                 for i in fallback:
-                    results[i] = run(i)
+                    try:
+                        results[i] = run(i)
+                    except BatchItemError as exc:
+                        record(exc, i)
             else:
                 workers = (
                     max_workers if max_workers is not None
@@ -572,15 +654,14 @@ class GemmSession:
                     futures = [pool.submit(run, i) for i in fallback]
                     # Drain everything before raising so a failing item
                     # never leaves sibling threads orphaned mid-execute.
-                    error = None
                     for i, fut in zip(fallback, futures):
                         exc = fut.exception()
                         if exc is None:
                             results[i] = fut.result()
-                        elif error is None:
-                            error = exc
-                    if error is not None:
-                        raise error
+                        else:
+                            record(exc, i)
+        if errors:
+            raise errors[min(errors)]
         return results
 
     def multiply_morton(
@@ -620,7 +701,7 @@ class GemmSession:
                 f"memory={mem!r} is a Winograd schedule; "
                 f"variant={variant!r} supports only memory='classic'"
             )
-        ops = NumpyOps(kern)
+        ops = NumpyOps(kern, trace=self.trace, validate=self.debug)
 
         def run(c: MortonMatrix, ws: Workspace | None) -> None:
             if variant == "winograd":
@@ -719,6 +800,14 @@ class GemmSession:
         self, plan: CompiledPlan, rec: PhaseTimings, extras=None
     ) -> None:
         """Fold one plan execution into the session counters (plan calls this)."""
+        tr = self.trace
+        if tr.enabled:
+            tr.emit(
+                "exec",
+                label=self._plan_key_label(plan.key),
+                seconds=rec.to_morton + rec.compute + rec.from_morton,
+                parallel=bool(extras is not None and extras.tasks_run),
+            )
         with self._lock:
             self._executes += 1
             if plan._cache_hit:
@@ -744,6 +833,14 @@ class GemmSession:
         saved: float, fused_adds: int,
     ) -> None:
         """Fold one stacked-batch execution into the session counters."""
+        tr = self.trace
+        if tr.enabled:
+            tr.emit(
+                "exec",
+                label=f"{self._plan_key_label(plan.key)}x{plan.cap}",
+                seconds=rec.to_morton + rec.compute + rec.from_morton,
+                items=n_items,
+            )
         with self._lock:
             self._executes += n_items
             self._batched_executes += 1

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError", "ShapeError", "PlanError", "KernelError", "BatchItemError",
+    "InvariantError",
 ]
 
 
@@ -41,6 +42,18 @@ class KernelError(ReproError):
 
     Raised by :func:`repro.blas.kernels.get_kernel` and by the variant
     resolution shared across ``modgemm`` and the engine.
+    """
+
+
+class InvariantError(ReproError):
+    """A debug-mode invariant check failed (``GemmSession(debug=True)``).
+
+    Raised by the :mod:`repro.observe` validation layer when an armed
+    check at a phase boundary finds pooled state that the engine's
+    contracts forbid: a nonzero operand pad, a scratch buffer written
+    between executions, a non-finite leaf product, or inconsistent task
+    graph accounting.  This always indicates an engine (or caller
+    buffer-aliasing) bug, never a property of the input values.
     """
 
 

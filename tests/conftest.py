@@ -2,8 +2,29 @@
 
 from __future__ import annotations
 
+import faulthandler
+
 import numpy as np
 import pytest
+
+# Hard ceiling on any single test.  CI installs pytest-timeout, which
+# enforces this properly (see ci.yml / the Makefile's TIMEOUT_FLAGS);
+# environments without the plugin fall back to a stdlib faulthandler
+# watchdog so a deadlocked concurrency test dumps all thread stacks and
+# aborts instead of hanging the whole run forever.
+TEST_TIMEOUT_SECONDS = 120.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item):
+    if item.config.pluginmanager.hasplugin("timeout"):
+        yield  # pytest-timeout owns the deadline
+        return
+    faulthandler.dump_traceback_later(TEST_TIMEOUT_SECONDS, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture

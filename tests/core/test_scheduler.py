@@ -187,3 +187,130 @@ class TestWorkerPool:
         with pytest.raises(RuntimeError):
             p.run(chain_graph([], n=1))
         p.shutdown()  # idempotent
+
+
+class TestShutdownCancellation:
+    """shutdown() must cancel queued graphs, never strand their callers.
+
+    Regression test: workers used to exit with graphs still queued, so a
+    caller blocked in ``graph._done.wait()`` hung forever.
+    """
+
+    def test_queued_graph_caller_released_with_error(self):
+        p = WorkerPool(2, name="shutdown-test")
+        occupied = threading.Barrier(3, timeout=10)  # 2 workers + main
+        release = threading.Event()
+
+        def blocker():
+            occupied.wait()
+            assert release.wait(timeout=30)
+
+        blocker_threads = [
+            threading.Thread(target=p.run_all, args=([blocker],))
+            for _ in range(2)
+        ]
+        for t in blocker_threads:
+            t.start()
+        occupied.wait()  # both workers are now busy
+
+        outcome = {}
+
+        def submit_queued():
+            try:
+                outcome["run"] = p.run_all([lambda: None], name="queued")
+            except BaseException as exc:  # noqa: BLE001 - under test
+                outcome["exc"] = exc
+
+        caller = threading.Thread(target=submit_queued)
+        caller.start()
+        deadline = time.monotonic() + 10
+        while not p._inject and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert p._inject, "queued task never reached the injection queue"
+
+        # Workers are blocked, so shutdown() itself blocks in join();
+        # the queued caller must be released long before that resolves.
+        shutter = threading.Thread(target=p.shutdown)
+        shutter.start()
+        caller.join(timeout=10)
+        assert not caller.is_alive(), "queued caller hung after shutdown()"
+        assert isinstance(outcome.get("exc"), RuntimeError)
+        assert "shut down" in str(outcome["exc"])
+
+        # In-flight graphs drain normally once unblocked.
+        release.set()
+        for t in blocker_threads:
+            t.join(timeout=10)
+            assert not t.is_alive()
+        shutter.join(timeout=10)
+        assert not shutter.is_alive()
+
+    def test_idle_shutdown_still_fast(self):
+        p = WorkerPool(2)
+        t0 = time.monotonic()
+        p.shutdown()
+        assert time.monotonic() - t0 < 5.0
+
+
+class TestCrossPoolReentrancy:
+    """A worker of any pool submitting to any pool must run inline.
+
+    Regression test: the guard used to recognise only the *same* pool's
+    workers, so a worker of pool A blocking inside ``B.run`` (while B's
+    workers blocked inside ``A.run``) could deadlock the pair.
+    """
+
+    def test_cross_pool_submission_runs_inline(self):
+        pool_a = WorkerPool(1, name="cross-a")
+        pool_b = WorkerPool(1, name="cross-b")
+        try:
+            order = []
+
+            def outer():
+                g = TaskGraph("inner")
+                g.add(lambda: order.append("inner"))
+                run = pool_b.run(g)
+                order.append(run.workers)
+
+            g = TaskGraph("outer")
+            g.add(outer)
+            pool_a.run(g)
+            # workers == 1 is the inline-run signature.
+            assert order == ["inner", 1]
+        finally:
+            pool_a.shutdown()
+            pool_b.shutdown()
+
+    def test_mutual_cross_submission_does_not_deadlock(self):
+        # The deadlock shape: A's only worker submits to B while B's only
+        # worker submits to A.  With the cross-pool guard both run
+        # inline; without it this test hangs (bounded by the watchdog).
+        pool_a = WorkerPool(1, name="mutual-a")
+        pool_b = WorkerPool(1, name="mutual-b")
+        try:
+            meet = threading.Barrier(2, timeout=10)
+            results = []
+
+            def crossed(target, tag):
+                def task():
+                    meet.wait()  # both workers committed before nesting
+                    g = TaskGraph(f"nested-{tag}")
+                    g.add(lambda: results.append(tag))
+                    target.run(g)
+                return task
+
+            ga = TaskGraph("outer-a")
+            ga.add(crossed(pool_b, "a->b"))
+            gb = TaskGraph("outer-b")
+            gb.add(crossed(pool_a, "b->a"))
+            ta = threading.Thread(target=pool_a.run, args=(ga,))
+            tb = threading.Thread(target=pool_b.run, args=(gb,))
+            ta.start()
+            tb.start()
+            ta.join(timeout=20)
+            tb.join(timeout=20)
+            assert not ta.is_alive() and not tb.is_alive()
+            assert sorted(results) == ["a->b", "b->a"]
+        finally:
+            pool_a.shutdown()
+            pool_b.shutdown()

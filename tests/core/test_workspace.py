@@ -82,3 +82,43 @@ class TestSchedules:
     def test_with_q_only_for_classic(self):
         with pytest.raises(ValueError, match="with_q"):
             Workspace(2, 4, 4, 4, with_q=True, schedule="two_temp")
+
+
+class TestPoisonQuiescence:
+    """The poison/poison_intact round trip debug mode relies on."""
+
+    def test_workspace_round_trip(self):
+        from repro.observe import POISON
+
+        ws = Workspace(2, 4, 4, 4, with_q=True)
+        ws.poison()
+        assert ws.poison_intact()
+        buf = next(ws._buffers())
+        assert buf[0] == POISON
+        buf[3] = 0.0  # one stray write anywhere breaks the checksum
+        assert not ws.poison_intact()
+        ws.poison()
+        assert ws.poison_intact()
+
+    def test_two_temp_workspace_round_trip(self):
+        ws = Workspace(2, 4, 4, 4, schedule="two_temp")
+        ws.poison()
+        assert ws.poison_intact()
+        ws.at(1).t.buf[-1] = 1.0
+        assert not ws.poison_intact()
+
+    def test_depth_zero_workspace_vacuously_intact(self):
+        ws = Workspace(0, 4, 4, 4)
+        ws.poison()
+        assert ws.poison_intact()
+
+    def test_batch_workspace_round_trip(self):
+        from repro.core.workspace import BatchWorkspace
+
+        ws = BatchWorkspace(4, 2, 4, 4, 4, with_q=True)
+        ws.poison()
+        assert ws.poison_intact()
+        next(ws._buffers())[2, 5] = 0.0
+        assert not ws.poison_intact()
+        ws.poison()
+        assert ws.poison_intact()

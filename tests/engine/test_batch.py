@@ -284,6 +284,129 @@ class TestMultiplyManyContract:
             assert_gemm_close(out, 3.0 * (a @ b))
 
 
+def _poisoned_items(rng, n, count, poison_at):
+    """``(a, b, c)`` items where item ``poison_at`` carries a read-only c.
+
+    A read-only output operand passes spec-time validation (creating the
+    :class:`GemmProblem` never writes ``c``) and fails only at the
+    per-item scaling step (``c *= beta`` / ``c += d``) — an
+    *execution-time* failure attributable to exactly one item, on both
+    the stacked and the fallback path.
+    """
+    items, c0s = [], []
+    for i in range(count):
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        c = rng.standard_normal((n, n))
+        c0s.append(c.copy())
+        if i == poison_at:
+            c.flags.writeable = False
+        items.append((a, b, c))
+    return items, c0s
+
+
+class TestExecutionFailureIndex:
+    """Execution-time per-item failures must report the *input* index.
+
+    Regression tests: the stacked path used to call ``execute_batch``
+    bare, so a mid-batch failure surfaced with the chunk-local position
+    (or no index at all) instead of the caller's item number.
+    """
+
+    @pytest.mark.parametrize("batch", ["auto", False])
+    @pytest.mark.parametrize("count", [2, 7, 32])
+    def test_index_maps_back_to_input_position(self, rng, count, batch):
+        poison_at = count // 2
+        items, _ = _poisoned_items(rng, 64, count, poison_at)
+        with GemmSession() as s:
+            with pytest.raises(BatchItemError) as excinfo:
+                s.multiply_many(items, beta=1.0, batch=batch)
+            if batch == "auto":
+                assert s.stats().batched_executes == 1
+        assert excinfo.value.index == poison_at
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    @pytest.mark.parametrize("batch", ["auto", False])
+    def test_smallest_failing_index_wins(self, rng, batch):
+        items, _ = _poisoned_items(rng, 64, 8, 5)
+        a, b, c = items[2]
+        c = c.copy()
+        c.flags.writeable = False
+        items[2] = (a, b, c)
+        with GemmSession() as s, pytest.raises(BatchItemError) as excinfo:
+            s.multiply_many(items, beta=1.0, batch=batch)
+        assert excinfo.value.index == 2
+
+    @pytest.mark.parametrize("batch", ["auto", False])
+    def test_good_items_still_complete(self, rng, batch):
+        """A failing item must not abandon its siblings mid-batch."""
+        items, c0s = _poisoned_items(rng, 64, 5, 1)
+        with GemmSession() as s, pytest.raises(BatchItemError):
+            s.multiply_many(items, beta=1.0, batch=batch)
+        for i, ((a, b, c), c0) in enumerate(zip(items, c0s)):
+            if i == 1:
+                assert np.array_equal(c, c0)  # read-only: untouched
+            else:
+                assert_gemm_close(c, a @ b + c0)
+
+    def test_index_survives_chunking(self, rng):
+        """Input numbering holds across BATCH_CAP_MAX-sized chunks."""
+        count = BATCH_CAP_MAX + 3
+        poison_at = BATCH_CAP_MAX + 1  # second chunk, chunk position 1
+        items, c0s = _poisoned_items(rng, 40, count, poison_at)
+        with GemmSession() as s:
+            with pytest.raises(BatchItemError) as excinfo:
+                s.multiply_many(items, beta=1.0)
+            assert s.stats().batched_executes == 2  # both chunks ran
+        assert excinfo.value.index == poison_at
+        a, b, c = items[0]
+        assert_gemm_close(c, a @ b + c0s[0])  # first chunk drained
+
+    def test_other_groups_drain_after_a_group_fails(self, rng):
+        items64, c064 = _poisoned_items(rng, 64, 3, 0)
+        items96, c096 = _poisoned_items(rng, 96, 3, -1)  # no poison
+        with GemmSession() as s, pytest.raises(BatchItemError) as excinfo:
+            s.multiply_many(items64 + items96, beta=1.0)
+        assert excinfo.value.index == 0
+        for (a, b, c), c0 in zip(items96, c096):
+            assert_gemm_close(c, a @ b + c0)
+
+    @pytest.mark.parametrize("batch", ["auto", False])
+    def test_plan_reusable_after_failure(self, rng, batch):
+        """Pooled stacks stay quiescent: the next batch is bit-exact."""
+        items, _ = _poisoned_items(rng, 64, 4, 2)
+        with GemmSession() as s:
+            with pytest.raises(BatchItemError):
+                s.multiply_many(items, beta=1.0, batch=batch)
+            pairs = _pairs(rng, 64, 4)
+            refs = _reference_outputs(pairs)
+            outs = s.multiply_many(pairs, batch=batch)
+        for out, ref in zip(outs, refs):
+            assert np.array_equal(out, ref)
+
+    def test_execute_batch_maps_indices_argument(self, rng, session):
+        """BatchPlan honours the caller's index mapping directly."""
+        import repro
+
+        pairs = _pairs(rng, 64, 3)
+        session.multiply_many(pairs)  # compile the (key, 4) batch plan
+        ((_, bp),) = session._batch_plans.items()
+        bad_c = rng.standard_normal((64, 64))
+        bad_c.flags.writeable = False
+        probs = [
+            repro.GemmProblem.create(
+                a, b,
+                beta=1.0 if i == 1 else 0.0,
+                c=bad_c if i == 1 else None,
+            )
+            for i, (a, b) in enumerate(pairs)
+        ]
+        cs = [None, bad_c, None]
+        with pytest.raises(BatchItemError) as excinfo:
+            bp.execute_batch(probs, cs, indices=[10, 20, 30])
+        assert excinfo.value.index == 20
+
+
 class TestDtype:
     def test_float32_multiply(self, rng, session):
         a, b = _pairs(rng, 96, 1, dtype=np.float32)[0]

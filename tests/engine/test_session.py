@@ -298,6 +298,54 @@ class TestDefaultSession:
         assert np.array_equal(session.multiply(a, b), modgemm(a, b))
 
 
+class TestCloseDuringMultiply:
+    """close() racing an in-flight parallel multiply must never hang.
+
+    Regression test for the pool-shutdown bug: a graph still queued when
+    the workers exited left its caller blocked forever.  Now the caller
+    either completes normally (its graph drained) or gets the pool's
+    shutdown ``RuntimeError`` — both within a bounded wait.
+    """
+
+    @pytest.mark.parametrize("delay", [0.0, 0.002, 0.01])
+    def test_close_concurrent_with_parallel_multiply(self, rng, delay):
+        import time
+
+        a = rng.standard_normal((129, 129))
+        b = rng.standard_normal((129, 129))
+        expected = a @ b
+        session = GemmSession(max_workers=2)
+        failures: list[Exception] = []
+        done = threading.Event()
+
+        def work() -> None:
+            try:
+                for _ in range(6):
+                    out = session.multiply(a, b, schedule="tasks:1")
+                    assert_gemm_close(out, expected)
+            except RuntimeError as exc:
+                # The one acceptable error: the pool died under us.
+                if "shut down" not in str(exc):
+                    failures.append(exc)
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+            finally:
+                done.set()
+
+        t = threading.Thread(target=work)
+        t.start()
+        time.sleep(delay)
+        session.close()
+        assert done.wait(timeout=60), "multiply hung after close()"
+        t.join(timeout=10)
+        assert not t.is_alive()
+        assert not failures, failures
+        # The session stays usable: a later multiply recreates the pool.
+        out = session.multiply(a, b, schedule="tasks:1")
+        assert_gemm_close(out, expected)
+        session.close()
+
+
 class TestMortonWorkspacePool:
     def test_pooled_workspace_reused(self, rng):
         from repro.layout.matrix import MortonMatrix

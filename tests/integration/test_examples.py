@@ -15,7 +15,12 @@ import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent.parent / "examples"
 
-FAST = ["quickstart.py", "rectangular_matrices.py", "simulator_tour.py"]
+FAST = [
+    "quickstart.py",
+    "rectangular_matrices.py",
+    "simulator_tour.py",
+    "trace_demo.py",
+]
 SLOW = ["blas_drop_in.py", "cache_study.py", "tuning_explorer.py"]
 
 

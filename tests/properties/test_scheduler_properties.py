@@ -1,0 +1,54 @@
+"""Property-based tests for the scheduler's batch-axis striping.
+
+``stripe_ranges`` is the unit of batch parallelism: the stacked GEMM path
+and the batched conversions both trust it to partition ``range(n)`` into
+contiguous, disjoint, ordered stripes.  Any hole or overlap would silently
+drop or double-compute batch items, so the partition laws are pinned here
+over the whole input space rather than a handful of examples.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scheduler import stripe_ranges
+
+
+@settings(max_examples=300, deadline=None)
+@given(n=st.integers(min_value=0, max_value=500),
+       parts=st.integers(min_value=-3, max_value=64))
+def test_stripe_ranges_partitions_range(n, parts):
+    stripes = stripe_ranges(n, parts)
+    if n <= 0:
+        assert stripes == []
+        return
+    # At most `parts` pieces (degenerate part counts clamp to one).
+    assert 1 <= len(stripes) <= max(1, parts)
+    # Non-empty, ordered, contiguous — first starts at 0, last ends at n.
+    assert all(lo < hi for lo, hi in stripes)
+    assert stripes[0][0] == 0
+    assert stripes[-1][1] == n
+    assert all(
+        prev_hi == lo for (_, prev_hi), (lo, _) in zip(stripes, stripes[1:])
+    )
+    # Together the stripes cover range(n) exactly once.
+    covered = [i for lo, hi in stripes for i in range(lo, hi)]
+    assert covered == list(range(n))
+
+
+@settings(max_examples=200, deadline=None)
+@given(n=st.integers(min_value=1, max_value=500),
+       parts=st.integers(min_value=1, max_value=64))
+def test_stripe_ranges_balanced(n, parts):
+    # Even ceil-division stripes: all full-sized except a shorter tail.
+    stripes = stripe_ranges(n, parts)
+    sizes = [hi - lo for lo, hi in stripes]
+    assert len(set(sizes[:-1])) <= 1
+    assert sizes[-1] <= sizes[0]
+    assert max(sizes) - min(sizes) <= max(sizes)
+
+
+@settings(max_examples=100, deadline=None)
+@given(n=st.integers(min_value=1, max_value=64))
+def test_one_stripe_per_item_at_saturation(n):
+    # parts >= n degenerates to singleton stripes, never empty ones.
+    assert stripe_ranges(n, n) == [(i, i + 1) for i in range(n)]
+    assert stripe_ranges(n, n + 7) == [(i, i + 1) for i in range(n)]
