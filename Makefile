@@ -22,9 +22,10 @@ lint:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Tiny-size run of the scheduler/conversion scaling, memory-schedule and
-# stacked-batch benchmarks, then schema + guard checks of the JSON reports
-# they emit (BENCH_parallel.json, BENCH_memory.json, BENCH_batch.json).
+# Tiny-size run of the scheduler/conversion scaling, memory-schedule,
+# stacked-batch and GEMM-semantics benchmarks, then schema + guard checks
+# of the JSON reports they emit (BENCH_parallel.json, BENCH_memory.json,
+# BENCH_batch.json, BENCH_semantics.json).
 bench-smoke:
 	PYTHONPATH=src BENCH_PARALLEL_QUICK=1 $(PYTHON) -m pytest \
 		benchmarks/test_bench_parallel.py -q
@@ -35,6 +36,9 @@ bench-smoke:
 	PYTHONPATH=src BENCH_BATCH_QUICK=1 $(PYTHON) -m pytest \
 		benchmarks/test_bench_batch.py -q
 	$(PYTHON) benchmarks/validate_bench_batch.py
+	PYTHONPATH=src BENCH_SEMANTICS_QUICK=1 $(PYTHON) -m pytest \
+		benchmarks/test_bench_semantics.py -q
+	$(PYTHON) benchmarks/validate_bench_semantics.py
 
 # Traced 513x513 multiply end to end; validates the dumped trace
 # document against TRACE_SCHEMA and prints a per-worker summary.

@@ -50,6 +50,8 @@ from .baselines.dgemmw import dgemmw
 from .engine import (
     CompiledPlan,
     GemmSession,
+    GemmSpec,
+    Mat,
     SessionStats,
     default_session,
     reset_default_session,
@@ -73,6 +75,8 @@ __all__ = [
     "dgefmm",
     "dgemmw",
     "GemmSession",
+    "GemmSpec",
+    "Mat",
     "CompiledPlan",
     "SessionStats",
     "default_session",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..errors import PlanError, ShapeError
 
 __all__ = ["OpKind", "GemmProblem", "dgemm_reference"]
 
@@ -66,12 +66,16 @@ class GemmProblem:
         beta: float = 0.0,
         c: np.ndarray | None = None,
         dtype=None,
+        trans_a: bool | None = None,
+        trans_b: bool | None = None,
     ) -> "GemmProblem":
         """Validate one dgemm call.
 
         ``dtype`` selects the computation precision — ``float64`` (the
         default, the paper's regime) or ``float32``; operands are cast on
         the way in, so mixed inputs work at the cost of a copy.
+        ``trans_a``/``trans_b`` are boolean aliases for the BLAS op
+        spellings; when given they win over ``op_a``/``op_b``.
         """
         dt = np.dtype(np.float64 if dtype is None else dtype)
         if dt not in (np.dtype(np.float64), np.dtype(np.float32)):
@@ -84,6 +88,10 @@ class GemmProblem:
             raise ShapeError(
                 f"dgemm operands must be 2-D, got ndims {a.ndim} and {b.ndim}"
             )
+        if trans_a is not None:
+            op_a = OpKind.TRANS if trans_a else OpKind.NOTRANS
+        if trans_b is not None:
+            op_b = OpKind.TRANS if trans_b else OpKind.NOTRANS
         op_a = OpKind.parse(op_a)
         op_b = OpKind.parse(op_b)
         m, k = a.shape if op_a is OpKind.NOTRANS else a.shape[::-1]
@@ -94,8 +102,22 @@ class GemmProblem:
             )
         if c is not None and c.shape != (m, n):
             raise ShapeError(f"C has shape {c.shape}, expected {(m, n)}")
+        if c is not None and (
+            np.may_share_memory(c, a) or np.may_share_memory(c, b)
+        ):
+            # The engine writes C while A/B are still live (staged U-adds,
+            # Morton conversions); an aliased output would corrupt them.
+            raise ShapeError(
+                "the C operand must not share memory with A or B"
+            )
         if beta != 0.0 and c is None:
             raise ValueError("beta != 0 requires an existing C operand")
+        if beta != 0.0 and c is not None and c.dtype != dt:
+            raise PlanError(
+                f"C dtype {c.dtype} != computation dtype {dt}: a beta "
+                "accumulate would silently upcast and break bit-identity; "
+                "cast C explicitly"
+            )
         return cls(
             a=a, b=b, op_a=op_a, op_b=op_b,
             alpha=float(alpha), beta=float(beta), m=m, k=k, n=n,

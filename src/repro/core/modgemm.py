@@ -82,11 +82,15 @@ def modgemm(
     parallel: bool = False,
     schedule=None,
     memory: "str | None" = None,
+    trans_a: bool | None = None,
+    trans_b: bool | None = None,
 ) -> np.ndarray:
     """``C <- alpha * op(A) . op(B) + beta * C`` via Morton-order Strassen-Winograd.
 
     Parameters mirror BLAS dgemm.  ``c`` is updated in place (and returned)
     when given; otherwise a fresh array is returned and ``beta`` must be 0.
+    ``trans_a``/``trans_b`` are boolean aliases for the ``op_a``/``op_b``
+    spellings and win over them when supplied.
     ``policy`` selects truncation (a :class:`TruncationPolicy`, an int
     static truncation point, or ``"dynamic"``/``"fixed"``); ``variant`` the
     Winograd (default) or original Strassen schedule — by name or by
@@ -112,7 +116,7 @@ def modgemm(
         a, b, c=c, alpha=alpha, beta=beta, op_a=op_a, op_b=op_b,
         policy=policy, kernel=kernel, variant=variant,
         parallel=parallel, schedule=schedule, timings=timings,
-        memory=memory,
+        memory=memory, trans_a=trans_a, trans_b=trans_b,
     )
 
 
@@ -124,6 +128,10 @@ def modgemm_morton(
     variant: str = "winograd",
     workspace: Workspace | None = None,
     memory: "str | None" = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    trans_a: bool = False,
+    trans_b: bool = False,
 ) -> MortonMatrix:
     """Multiply operands already in Morton order; no conversions (Figure 8).
 
@@ -135,11 +143,14 @@ def modgemm_morton(
     ``c_mm`` is also omitted the result lives in the session's pooled
     output buffer and stays valid until the next same-geometry call.
     ``memory`` selects the scratch schedule; ``"ip_overwrite"`` destroys
-    the contents of ``a_mm``/``b_mm``.
+    the contents of ``a_mm``/``b_mm``.  ``trans_a``/``trans_b`` consume the
+    operands through Morton quadrant-swap relabeling (no copies; Winograd
+    only), and ``alpha``/``beta`` follow the dgemm contract — ``beta != 0``
+    requires ``c_mm`` and accumulates into it.
     """
     from ..engine.session import default_session
 
     return default_session().multiply_morton(
         a_mm, b_mm, c_mm, kernel=kernel, variant=variant, workspace=workspace,
-        memory=memory,
+        memory=memory, alpha=alpha, beta=beta, trans_a=trans_a, trans_b=trans_b,
     )

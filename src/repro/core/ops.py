@@ -69,6 +69,11 @@ class WinogradOps(Protocol):
     def leaf_mult(self, a: MortonMatrix, b: MortonMatrix, dst: MortonMatrix) -> None:
         """``dst = a . b`` on leaf tiles (depth 0)."""
 
+    # The alpha/beta-folding vocabulary (``add_scale``, ``iadd_scale``,
+    # ``add3_scale``, ``accumulate``) is NumpyOps-only: the engine invokes
+    # it exclusively for non-default GemmSpecs, which never reach the
+    # cache-simulator backend, so TraceOps keeps the classic surface.
+
 
 _fuse_scratch = threading.local()
 
@@ -199,15 +204,114 @@ class NumpyOps:
         _same_size(dst, x)
         np.subtract(x.buf, dst.buf, out=dst.buf)
 
-    def leaf_mult(self, a: MortonMatrix, b: MortonMatrix, dst: MortonMatrix) -> None:
+    # ------------------------------------------------ alpha/beta folding
+
+    def add_scale(
+        self, dst: MortonMatrix, x: MortonMatrix, y: MortonMatrix, alpha: float
+    ) -> None:
+        """``dst = alpha * (x + y)`` in one streamed pass.
+
+        The final U-adds of a recursion call this (instead of ``add``)
+        when the plan's spec carries ``alpha != 1`` — the scale rides the
+        pass that writes C's quadrant anyway, so alpha costs no extra
+        full-matrix traffic.  Elementwise this is ``(x + y) * alpha``,
+        bit-identical to computing the plain product and scaling after.
+        """
+        _same_size(dst, x, y)
+        d, xb, yb = dst.buf, x.buf, y.buf
+        np.add(xb, yb, out=d)
+        np.multiply(d, alpha, out=d)
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            self._emit("add_scale", dst)
+
+    def iadd_scale(self, dst: MortonMatrix, x: MortonMatrix, alpha: float) -> None:
+        """``dst = alpha * (dst + x)`` in place (a scaled final U-add)."""
+        _same_size(dst, x)
+        d = dst.buf
+        np.add(d, x.buf, out=d)
+        np.multiply(d, alpha, out=d)
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            self._emit("iadd_scale", dst)
+
+    def add3_scale(
+        self,
+        dst: MortonMatrix,
+        x: MortonMatrix,
+        y: MortonMatrix,
+        z: MortonMatrix,
+        alpha: float,
+    ) -> None:
+        """``dst = alpha * ((x + y) + z)``, fused and chunked like ``add3``.
+
+        Same staging discipline as :meth:`add3` (dst may alias any
+        operand; chunk boundaries never perturb bits), with the scale
+        applied to each staged chunk before it lands in ``dst``.  Not
+        counted in ``fused_adds`` — that counter pins the *schedule's*
+        fusion structure, which is identical whatever alpha is.
+        """
+        _same_size(dst, x, y, z)
+        d, xb, yb, zb = dst.buf, x.buf, y.buf, z.buf
+        if d.ndim == 2:
+            bsz, elems = d.shape
+            step = max(1, FUSE_CHUNK_ELEMS // bsz)
+            tmp = _fuse_chunk(d.dtype, bsz * step)
+            for i in range(0, elems, step):
+                j = min(i + step, elems)
+                t = tmp[: bsz * (j - i)].reshape(bsz, j - i)
+                np.add(xb[:, i:j], yb[:, i:j], out=t)
+                np.add(t, zb[:, i:j], out=t)
+                np.multiply(t, alpha, out=d[:, i:j])
+            return
+        tmp = _fuse_chunk(d.dtype)
+        for i in range(0, d.size, FUSE_CHUNK_ELEMS):
+            j = min(i + FUSE_CHUNK_ELEMS, d.size)
+            t = tmp[: j - i]
+            np.add(xb[i:j], yb[i:j], out=t)
+            np.add(t, zb[i:j], out=t)
+            np.multiply(t, alpha, out=d[i:j])
+
+    def accumulate(self, dst: MortonMatrix, x: MortonMatrix, beta: float) -> None:
+        """``dst = x + beta * dst``: fold a freshly computed product ``x``
+        into a live C (the BLAS beta contract) in Morton space.
+
+        Elementwise identical to the reference ``c *= beta; c += d``
+        (multiply first, then add), so results stay bit-compatible with
+        the epilogue it replaces.
+        """
+        _same_size(dst, x)
+        d = dst.buf
+        np.multiply(d, beta, out=d)
+        np.add(d, x.buf, out=d)
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            tr.emit("accumulate", label="morton", elems=int(dst.size))
+
+    # ----------------------------------------------------- leaf products
+
+    def leaf_mult(
+        self,
+        a: MortonMatrix,
+        b: MortonMatrix,
+        dst: MortonMatrix,
+        alpha: float = 1.0,
+    ) -> None:
         """Multiply two leaf tiles (or stacked batches) with the kernel.
 
         Batched operands (anything exposing a ``batch`` axis) route to the
         batched kernel so an entire ``(B, T, T)`` leaf site is one call.
+        ``alpha`` scales the freshly written tile in place — only a
+        depth-0 recursion (the whole product is one leaf) pays this,
+        deeper plans fold alpha into the final U-adds instead.
         """
         if getattr(a, "batch", None) is not None:
             self.batch_kernel(
                 a.leaf_view(), b.leaf_view(), dst.leaf_view(), accumulate=False
             )
+            if alpha != 1.0:
+                dst.buf *= alpha
             return
         self.kernel(a.leaf_view(), b.leaf_view(), dst.leaf_view(), accumulate=False)
+        if alpha != 1.0:
+            dst.buf *= alpha

@@ -43,6 +43,7 @@ import numpy as np
 
 from ..blas.kernels import LeafKernel
 from ..layout.matrix import MortonMatrix
+from ..layout.relabel import relabel_scratch
 from .ops import NumpyOps, WinogradOps
 from .scheduler import TaskGraph, WorkerPool, stripe_ranges
 from ..observe.validate import POISON
@@ -283,13 +284,17 @@ def build_winograd_graph(
     c: MortonMatrix,
     scratch: TaskScratch,
     ops: WinogradOps | None = None,
+    alpha: float = 1.0,
 ) -> TaskGraph:
-    """Build the reusable task DAG computing ``C = A . B``.
+    """Build the reusable task DAG computing ``C = alpha . A . B``.
 
     The graph closes over the operand/product buffers and the scratch, so
     it is built once per (plan, scratch) pair and re-run without touching
-    the allocator.  Requires ``a.depth >= 1`` (use the sequential path for
-    leaf-only operands).
+    the allocator — ``alpha`` is baked into the outermost U-add closures
+    (a plan's spec is frozen, so this costs nothing per run).  Requires
+    ``a.depth >= 1`` (use the sequential path for leaf-only operands).
+    The operands may be :class:`~repro.layout.relabel.TransposedView`
+    wrappers; the expansion relabels its per-node scratch to match.
     """
     _check_conformable(a, b, c)
     if not scratch.matches(a, b):
@@ -299,7 +304,7 @@ def build_winograd_graph(
     graph = TaskGraph(name=f"winograd-{a.rows}x{a.cols}x{b.cols}")
     graph.tracer = getattr(ops, "trace", None)
     _expand(graph, ops, scratch, a, b, c, scratch.root,
-            scratch.parallel_depth, (), ())
+            scratch.parallel_depth, (), (), alpha)
     return graph
 
 
@@ -314,8 +319,14 @@ def _expand(
     levels: int,
     deps_a: tuple,
     deps_b: tuple,
+    alpha: float = 1.0,
 ) -> list:
-    """Emit tasks computing ``c = a . b``; return the tasks completing c."""
+    """Emit tasks computing ``c = alpha . a . b``; return c's final tasks.
+
+    Sub-products recurse with ``alpha=1``: only the outermost expansion's
+    final U-adds (or its leaf closure, if the whole product is one task)
+    carry the scale, mirroring the sequential schedules.
+    """
     if levels == 0 or a.depth == 0:
         ws_pool = scratch.workspace_pool
         recurse = (
@@ -324,12 +335,15 @@ def _expand(
 
         if a.depth == 0:
             def leaf(x=a, y=b, out=c):
-                ops.leaf_mult(x, y, out)
+                if alpha == 1.0:
+                    ops.leaf_mult(x, y, out)
+                else:
+                    ops.leaf_mult(x, y, out, alpha)
         else:
             def leaf(x=a, y=b, out=c):
                 ws = ws_pool.acquire()
                 try:
-                    recurse(x, y, out, ops, ws)
+                    recurse(x, y, out, ops, ws, alpha)
                 finally:
                     ws_pool.release(ws)
 
@@ -341,6 +355,13 @@ def _expand(
     s1, s2, s3, s4 = node.s
     t1, t2, t3, t4 = node.t
     p = node.p
+    # Mirror the sequential recursions: S/T sums of a relabeled operand
+    # carry its native Morton permutation, so the node scratch receiving
+    # them is descended through the same relabel (products stay plain).
+    if getattr(a, "transposed", False):
+        s1, s2, s3, s4 = (relabel_scratch(m) for m in node.s)
+    if getattr(b, "transposed", False):
+        t1, t2, t3, t4 = (relabel_scratch(m) for m in node.t)
 
     def op2(fn, dst, x, y):
         return lambda: fn(dst, x, y)
@@ -375,13 +396,42 @@ def _expand(
     # (see module docstring); edges beyond the data inputs order the
     # staged writes: u3 reads C12 before u7a overwrites it, u5 reads C21
     # before u4 does.
-    u1 = graph.add(op2(ops.add, c11, p[0], p[1]), deps=(*p1, *p2), label="U1")
     u2 = graph.add(op2(ops.add, c12, p[0], p[3]), deps=(*p1, *p4), label="U2")
     u3 = graph.add(op2(ops.add, c21, c12, p[4]), deps=(u2, *p5), label="U3")
-    u5 = graph.add(op2(ops.add, c22, c21, p[2]), deps=(u3, *p3), label="U5")
     u7a = graph.add(lambda: ops.iadd(c12, p[5]), deps=(u3, *p6), label="U7a")
-    u7b = graph.add(lambda: ops.iadd(c12, p[2]), deps=(u7a, *p3), label="U7b")
-    u4 = graph.add(lambda: ops.iadd(c21, p[6]), deps=(u5, *p7), label="U4")
+    if alpha == 1.0:
+        u1 = graph.add(
+            op2(ops.add, c11, p[0], p[1]), deps=(*p1, *p2), label="U1"
+        )
+        u5 = graph.add(
+            op2(ops.add, c22, c21, p[2]), deps=(u3, *p3), label="U5"
+        )
+        u7b = graph.add(
+            lambda: ops.iadd(c12, p[2]), deps=(u7a, *p3), label="U7b"
+        )
+        u4 = graph.add(
+            lambda: ops.iadd(c21, p[6]), deps=(u5, *p7), label="U4"
+        )
+    else:
+        # Each quadrant's *final* U-add carries alpha; every final reads
+        # only staged (unscaled) values — the (u5, *p7) edge on u4 already
+        # orders u5's read of C21 before u4 scales it in place.
+        u1 = graph.add(
+            lambda: ops.add_scale(c11, p[0], p[1], alpha),
+            deps=(*p1, *p2), label="U1",
+        )
+        u5 = graph.add(
+            lambda: ops.add_scale(c22, c21, p[2], alpha),
+            deps=(u3, *p3), label="U5",
+        )
+        u7b = graph.add(
+            lambda: ops.iadd_scale(c12, p[2], alpha),
+            deps=(u7a, *p3), label="U7b",
+        )
+        u4 = graph.add(
+            lambda: ops.iadd_scale(c21, p[6], alpha),
+            deps=(u5, *p7), label="U4",
+        )
     return [u1, u7b, u4, u5]
 
 

@@ -32,8 +32,15 @@ def strassen_multiply(
     c: MortonMatrix,
     ops: WinogradOps | None = None,
     workspace: Workspace | None = None,
+    alpha: float = 1.0,
 ) -> MortonMatrix:
-    """``C = A . B`` with the original Strassen schedule on Morton operands."""
+    """``C = alpha . A . B`` with the original Strassen schedule.
+
+    ``alpha`` is folded into each C quadrant's final addition, mirroring
+    :func:`repro.core.winograd.winograd_multiply`; transposes and beta
+    stay the caller's concern (the engine serves them through relabeled
+    conversion and staged accumulation respectively).
+    """
     _check_conformable(a, b, c)
     if ops is None:
         ops = NumpyOps()
@@ -43,7 +50,7 @@ def strassen_multiply(
         )
     elif a.depth > 0 and workspace.at(a.depth - 1).q is None:
         raise ValueError("strassen_multiply needs a workspace built with with_q=True")
-    _recurse(a, b, c, ops, workspace)
+    _recurse(a, b, c, ops, workspace, alpha)
     return c
 
 
@@ -53,9 +60,13 @@ def _recurse(
     c: MortonMatrix,
     ops: WinogradOps,
     ws: Workspace,
+    alpha: float = 1.0,
 ) -> None:
     if a.depth == 0:
-        ops.leaf_mult(a, b, c)
+        if alpha == 1.0:
+            ops.leaf_mult(a, b, c)
+        else:
+            ops.leaf_mult(a, b, c, alpha)
         return
 
     a11, a12, a21, a22 = a.quadrants()
@@ -79,19 +90,33 @@ def _recurse(
     ops.add(c11, p, q)
     ops.add(c22, p, c12)
     ops.sub(c22, c22, c21)
-    ops.iadd(c21, q)                # C21 = P2 + P4 (final)
+    if alpha == 1.0:
+        ops.iadd(c21, q)            # C21 = P2 + P4 (final)
+    else:
+        # each quadrant's final addition carries alpha; every final reads
+        # only staged (unscaled) values, so the scales never interact.
+        ops.iadd_scale(c21, q, alpha)
 
     ops.add(s, a11, a12)
     _recurse(s, b22, q, ops, ws)    # Q = P5
     ops.sub(c11, c11, q)            # C11 -= P5
-    ops.iadd(c12, q)                # C12 = P3 + P5 (final)
+    if alpha == 1.0:
+        ops.iadd(c12, q)            # C12 = P3 + P5 (final)
+    else:
+        ops.iadd_scale(c12, q, alpha)
 
     ops.sub(s, a21, a11)
     ops.add(t, b11, b12)
     _recurse(s, t, q, ops, ws)      # Q = P6
-    ops.iadd(c22, q)                # C22 final
+    if alpha == 1.0:
+        ops.iadd(c22, q)            # C22 final
+    else:
+        ops.iadd_scale(c22, q, alpha)
 
     ops.sub(s, a12, a22)
     ops.add(t, b21, b22)
     _recurse(s, t, q, ops, ws)      # Q = P7
-    ops.iadd(c11, q)                # C11 final
+    if alpha == 1.0:
+        ops.iadd(c11, q)            # C11 final
+    else:
+        ops.iadd_scale(c11, q, alpha)

@@ -55,6 +55,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..layout.matrix import MortonMatrix
+from ..layout.relabel import relabel_scratch, transposed_view
 from .ops import NumpyOps, WinogradOps
 from .workspace import BatchWorkspace, Workspace
 
@@ -109,15 +110,29 @@ def winograd_multiply(
     ops: WinogradOps | None = None,
     workspace: Workspace | None = None,
     memory: "str | None" = "classic",
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    trans_a: bool = False,
+    trans_b: bool = False,
 ) -> MortonMatrix:
-    """Compute ``C = A . B`` over padded Morton operands (alpha/beta-free core).
+    """Compute ``C = alpha . op(A) . op(B) + beta . C`` over Morton operands.
 
-    ``c``'s buffer is overwritten entirely (including its pad).  ``ops``
-    selects the backend (arithmetic or trace emission); ``workspace`` may be
-    shared across calls of the same geometry and must have been built for
-    the requested ``memory`` schedule.  With ``memory="ip_overwrite"``
-    **the contents of** ``a`` **and** ``b`` **are destroyed** and no
-    workspace is used.
+    With the default spec (``alpha=1, beta=0``, no transposes) ``c``'s
+    buffer is overwritten entirely (including its pad).  ``alpha`` is
+    folded into the recursion's final U-adds (or the leaf product at
+    depth 0) — never a separate scaling pass.  ``beta != 0`` stages the
+    product in a same-geometry temporary and folds it into the live ``c``
+    with one streaming :meth:`~repro.core.ops.NumpyOps.accumulate` pass.
+    ``trans_a``/``trans_b`` wrap the operand in a zero-copy
+    :class:`~repro.layout.relabel.TransposedView` (quadrant relabeling;
+    rejected for ``ip_overwrite``, whose slot-reuse schedule requires the
+    plain permutation — transpose during conversion there instead).
+
+    ``ops`` selects the backend (arithmetic or trace emission);
+    ``workspace`` may be shared across calls of the same geometry and
+    must have been built for the requested ``memory`` schedule.  With
+    ``memory="ip_overwrite"`` **the contents of** ``a`` **and** ``b``
+    **are destroyed** and no workspace is used.
 
     The operands may equally be same-shape
     :class:`~repro.layout.matrix.BatchMortonMatrix` stacks (with a
@@ -129,14 +144,32 @@ def winograd_multiply(
     ``ip_overwrite`` is not offered for batches (the batched path never
     clobbers operands).
     """
-    _check_conformable(a, b, c)
     memory = resolve_memory(memory)
+    if trans_a:
+        a = transposed_view(a)
+    if trans_b:
+        b = transposed_view(b)
+    if memory == "ip_overwrite" and (
+        getattr(a, "transposed", False) or getattr(b, "transposed", False)
+    ):
+        raise ValueError(
+            "memory='ip_overwrite' cannot consume relabeled (transposed) "
+            "operands: the in-place schedule writes products into A/B "
+            "quadrant slots, which live in the plain Morton permutation; "
+            "fold the transpose into the conversion instead"
+        )
+    _check_conformable(a, b, c)
     if ops is None:
         ops = NumpyOps()
     if memory != "classic" and a.depth > 0 and not hasattr(ops, "add3"):
         raise ValueError(
             f"ops backend {type(ops).__name__} lacks the fused add3/sub_into "
             f"passes required by the {memory!r} schedule; use memory='classic'"
+        )
+    if beta != 0.0 and not hasattr(ops, "accumulate"):
+        raise ValueError(
+            f"ops backend {type(ops).__name__} lacks the accumulate pass "
+            "required by beta != 0"
         )
     batch = getattr(a, "batch", None)
     if batch is not None:
@@ -152,16 +185,20 @@ def winograd_multiply(
             )
             workspace = ws.view(0, batch)
 
+    # beta: the recursion always produces a *fresh* product, so a live C
+    # is preserved by computing alpha.op(A).op(B) into a same-geometry
+    # staging matrix and folding it in with one streaming accumulate pass
+    # (elementwise identical to the reference ``c *= beta; c += d``).
+    target = c if beta == 0.0 else _staging_like(c)
+
     if memory == "ip_overwrite":
         if a.depth > 0 and not (a.tile_r == a.tile_c == b.tile_c):
             raise ValueError(
                 "ip_overwrite needs uniform tile geometry (tile_m == tile_k "
                 f"== tile_n); got {a.tile_r}x{a.tile_c} . {b.tile_r}x{b.tile_c}"
             )
-        _recurse_ip(a, b, c, ops)
-        return c
-
-    if memory == "two_temp":
+        _recurse_ip(a, b, target, ops, alpha)
+    elif memory == "two_temp":
         if workspace is None:
             workspace = Workspace(
                 a.depth, a.tile_r, a.tile_c, b.tile_c, schedule="two_temp"
@@ -171,15 +208,33 @@ def winograd_multiply(
                 "winograd_multiply(memory='two_temp') needs a workspace "
                 "built with schedule='two_temp'"
             )
-        _recurse_two_temp(a, b, c, ops, workspace)
-        return c
+        _recurse_two_temp(a, b, target, ops, workspace, alpha)
+    else:
+        if workspace is None:
+            workspace = Workspace(
+                a.depth, a.tile_r, a.tile_c, b.tile_c, with_q=True
+            )
+        elif a.depth > 0 and workspace.at(a.depth - 1).q is None:
+            raise ValueError(
+                "winograd_multiply needs a workspace built with with_q=True"
+            )
+        _recurse(a, b, target, ops, workspace, alpha)
 
-    if workspace is None:
-        workspace = Workspace(a.depth, a.tile_r, a.tile_c, b.tile_c, with_q=True)
-    elif a.depth > 0 and workspace.at(a.depth - 1).q is None:
-        raise ValueError("winograd_multiply needs a workspace built with with_q=True")
-    _recurse(a, b, c, ops, workspace)
+    if beta != 0.0:
+        ops.accumulate(c, target, beta)
     return c
+
+
+def _staging_like(c):
+    """A fresh Morton(-batch) matrix congruent with ``c`` (for beta staging)."""
+    return type(c)(
+        buf=np.empty_like(c.buf),
+        rows=c.rows,
+        cols=c.cols,
+        tile_r=c.tile_r,
+        tile_c=c.tile_c,
+        depth=c.depth,
+    )
 
 
 def _recurse(
@@ -188,9 +243,13 @@ def _recurse(
     c: MortonMatrix,
     ops: WinogradOps,
     ws: Workspace,
+    alpha: float = 1.0,
 ) -> None:
     if a.depth == 0:
-        ops.leaf_mult(a, b, c)
+        if alpha == 1.0:
+            ops.leaf_mult(a, b, c)
+        else:
+            ops.leaf_mult(a, b, c, alpha)
         return
 
     a11, a12, a21, a22 = a.quadrants()
@@ -199,6 +258,14 @@ def _recurse(
     lv = ws.at(a11.depth)
     s, t, p, q = lv.s, lv.t, lv.p, lv.q
     assert q is not None
+    # S-intermediates of a relabeled operand are written (by flat ufuncs)
+    # in that operand's *native* Morton permutation; descend the scratch
+    # holding them with the same relabel.  Products (P/Q, C quadrants)
+    # always land in the plain output permutation.
+    if getattr(a, "transposed", False):
+        s = relabel_scratch(s)
+    if getattr(b, "transposed", False):
+        t = relabel_scratch(t)
 
     # Phase 1: the five products that consume the S/T chains.  Each S_i/T_i
     # is formed in place in the shared scratch the moment its predecessors
@@ -225,11 +292,21 @@ def _recurse(
     ops.iadd(c11, q)                # C11 = U2 = P1 + P4
     ops.iadd(p, c11)                # P   = U3 = U2 + P5
     ops.iadd(c12, c11)              # C12 = P6 + U2
-    ops.iadd(c12, c22)              # C12 = U7 = U6 + P6   (U6 = U2 + P3)
-    ops.iadd(c21, p)                # C21 = U4 = U3 + P7
-    ops.iadd(c22, p)                # C22 = U5 = U3 + P3
-    _recurse(a12, b21, p, ops, ws)  # P <- P2
-    ops.add(c11, q, p)              # C11 = U1 = P1 + P2
+    if alpha == 1.0:
+        ops.iadd(c12, c22)              # C12 = U7 = U6 + P3
+        ops.iadd(c21, p)                # C21 = U4 = U3 + P7
+        ops.iadd(c22, p)                # C22 = U5 = U3 + P3
+        _recurse(a12, b21, p, ops, ws)  # P <- P2
+        ops.add(c11, q, p)              # C11 = U1 = P1 + P2
+    else:
+        # alpha rides the four final U-adds (each C quadrant's last
+        # write); the ordering above guarantees no scaled quadrant is
+        # read again (U7 consumes P3 before U5 scales C22).
+        ops.iadd_scale(c12, c22, alpha)
+        ops.iadd_scale(c21, p, alpha)
+        ops.iadd_scale(c22, p, alpha)
+        _recurse(a12, b21, p, ops, ws)  # P <- P2
+        ops.add_scale(c11, q, p, alpha)
 
 
 def _recurse_two_temp(
@@ -238,6 +315,7 @@ def _recurse_two_temp(
     c: MortonMatrix,
     ops: WinogradOps,
     ws: Workspace,
+    alpha: float = 1.0,
 ) -> None:
     """Boyer et al.'s two-temporary schedule: C quadrants double as scratch.
 
@@ -249,7 +327,10 @@ def _recurse_two_temp(
     are never written.
     """
     if a.depth == 0:
-        ops.leaf_mult(a, b, c)
+        if alpha == 1.0:
+            ops.leaf_mult(a, b, c)
+        else:
+            ops.leaf_mult(a, b, c, alpha)
         return
 
     a11, a12, a21, a22 = a.quadrants()
@@ -257,6 +338,14 @@ def _recurse_two_temp(
     c11, c12, c21, c22 = c.quadrants()
     lv = ws.at(a11.depth)
     x, y, xc = lv.s, lv.t, lv.p  # xc aliases x's buffer (C-shaped view)
+    # Relabel the temporary that mirrors a transposed operand (see
+    # _recurse).  xc stays plain: it stages P1, a *product*, which always
+    # lands in the output permutation (the buffers overlap but are used
+    # at disjoint times, so the two descents never mix).
+    if getattr(a, "transposed", False):
+        x = relabel_scratch(x)
+    if getattr(b, "transposed", False):
+        y = relabel_scratch(y)
 
     ops.sub(x, a11, a21)                     # S3
     ops.sub(y, b22, b12)                     # T3
@@ -273,13 +362,25 @@ def _recurse_two_temp(
 
     ops.iadd(c12, xc)            # C12 = U2 = P4 + P1
     ops.iadd(c21, c12)           # C21 = U3 = P5 + U2
-    ops.add3(c12, c11, c12, c22)  # C12 = U7 = (P6 + U2) + P3
-    ops.iadd(c22, c21)           # C22 = U5 = P3 + U3
+    if alpha == 1.0:
+        ops.add3(c12, c11, c12, c22)  # C12 = U7 = (P6 + U2) + P3
+        ops.iadd(c22, c21)           # C22 = U5 = P3 + U3
+    else:
+        # the four final U-adds carry alpha; U7 reads P3 (c22) and U5
+        # reads U3 (c21) before either is scaled, and P7/P2 below are
+        # staged in c11 unscaled until their own finals.
+        ops.add3_scale(c12, c11, c12, c22, alpha)
+        ops.iadd_scale(c22, c21, alpha)
     ops.sub_into(y, b21)         # T4 = B21 - T2
     _recurse_two_temp(a22, y, c11, ops, ws)   # C11 <- P7 (P6 consumed)
-    ops.iadd(c21, c11)           # C21 = U4 = U3 + P7
-    _recurse_two_temp(a12, b21, c11, ops, ws)  # C11 <- P2 (P7 consumed)
-    ops.add(c11, xc, c11)        # C11 = U1 = P1 + P2
+    if alpha == 1.0:
+        ops.iadd(c21, c11)           # C21 = U4 = U3 + P7
+        _recurse_two_temp(a12, b21, c11, ops, ws)  # C11 <- P2 (P7 consumed)
+        ops.add(c11, xc, c11)        # C11 = U1 = P1 + P2
+    else:
+        ops.iadd_scale(c21, c11, alpha)
+        _recurse_two_temp(a12, b21, c11, ops, ws)
+        ops.add_scale(c11, xc, c11, alpha)
 
 
 def _recurse_ip(
@@ -287,6 +388,7 @@ def _recurse_ip(
     b: MortonMatrix,
     c: MortonMatrix,
     ops: WinogradOps,
+    alpha: float = 1.0,
 ) -> None:
     """Fully in-place schedule: zero scratch, A and B quadrants are consumed.
 
@@ -297,7 +399,10 @@ def _recurse_ip(
     :func:`_recurse_two_temp`).
     """
     if a.depth == 0:
-        ops.leaf_mult(a, b, c)
+        if alpha == 1.0:
+            ops.leaf_mult(a, b, c)
+        else:
+            ops.leaf_mult(a, b, c, alpha)
         return
 
     a11, a12, a21, a22 = a.quadrants()
@@ -322,10 +427,18 @@ def _recurse_ip(
 
     ops.iadd(a11, c11)            # A11 = U2 = P4 + P1
     ops.iadd(c21, a11)            # C21 = U3 = P5 + U2
-    ops.add3(c12, c12, a11, c22)  # C12 = U7 = (P6 + U2) + P3
-    ops.iadd(c22, c21)            # C22 = U5 = P3 + U3
-    ops.iadd(c21, b22)            # C21 = U4 = U3 + P7
-    ops.iadd(c11, a22)            # C11 = U1 = P1 + P2
+    if alpha == 1.0:
+        ops.add3(c12, c12, a11, c22)  # C12 = U7 = (P6 + U2) + P3
+        ops.iadd(c22, c21)            # C22 = U5 = P3 + U3
+        ops.iadd(c21, b22)            # C21 = U4 = U3 + P7
+        ops.iadd(c11, a22)            # C11 = U1 = P1 + P2
+    else:
+        # alpha on the four finals; each reads only unscaled values (U7
+        # consumes P3 before U5 scales it, U5 consumes U3 before U4).
+        ops.add3_scale(c12, c12, a11, c22, alpha)
+        ops.iadd_scale(c22, c21, alpha)
+        ops.iadd_scale(c21, b22, alpha)
+        ops.iadd_scale(c11, a22, alpha)
 
 
 def multiply_morton(

@@ -26,6 +26,8 @@ cache for free while staying behaviour-identical.
 
 from ..core.scheduler import Schedule, WorkerPool
 from ..core.winograd import MEMORY_SCHEDULES, resolve_memory
+from .expr import Mat, MatChain, chain_order
+from .spec import GemmSpec
 from .plan import (
     BATCH_CAP_MAX,
     BatchPlan,
@@ -46,7 +48,11 @@ __all__ = [
     "BATCH_CAP_MAX",
     "BatchPlan",
     "batch_size_class",
+    "chain_order",
     "CompiledPlan",
+    "GemmSpec",
+    "Mat",
+    "MatChain",
     "PlanKey",
     "Schedule",
     "WorkerPool",

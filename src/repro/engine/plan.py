@@ -56,7 +56,9 @@ from ..layout.convert import (
 )
 from ..layout.matrix import BatchMortonMatrix, MortonMatrix
 from ..layout.padding import Tiling
+from ..layout.relabel import transposed_view
 from ..observe.validate import check_pad_zero, check_quiescent
+from .spec import GemmSpec
 
 __all__ = [
     "PlanKey", "CompiledPlan", "BatchPlan", "batch_size_class",
@@ -118,36 +120,69 @@ class PlanKey:
     """The memoisation key of one compiled plan.
 
     Two multiplies share a plan exactly when every field matches: the
-    logical GEMM dimensions, both transposition flags, the truncation
-    policy, the resolved leaf kernel (by identity — named kernels resolve
-    to module-level functions, so equal names compare equal), the
-    recursion variant, the execution :class:`Schedule`, and the memory
-    schedule (see :data:`repro.core.winograd.MEMORY_SCHEDULES`).
-    ``alpha``/``beta`` are deliberately absent: scaling is
-    post-processing and shares buffers freely.
+    logical GEMM dimensions, the truncation policy, the resolved leaf
+    kernel (by identity — named kernels resolve to module-level
+    functions, so equal names compare equal), the recursion variant, the
+    execution :class:`Schedule`, the memory schedule (see
+    :data:`repro.core.winograd.MEMORY_SCHEDULES`) and the full operation
+    :class:`~repro.engine.spec.GemmSpec`.  The spec is load-bearing:
+    ``alpha`` is baked into a plan's final U-adds (and its prebuilt task
+    graph), ``beta`` into its output-conversion epilogue, and the
+    transpose flags decide each operand buffer's *orientation* — so two
+    calls differing in any of them genuinely need different compiled
+    artefacts.
     """
 
     m: int
     k: int
     n: int
-    op_a: OpKind
-    op_b: OpKind
     policy: TruncationPolicy
     kernel: LeafKernel
     variant: str
     schedule: Schedule
     memory: str = "classic"
-    dtype: str = "float64"
+    spec: GemmSpec = GemmSpec()
 
     @property
     def parallel(self) -> bool:
         """True when the plan executes on the task scheduler."""
         return self.schedule.parallel
 
+    # Accessors mirroring the pre-spec field layout, so call sites (and
+    # the BLAS boundary) keep reading key.op_a / key.dtype / ...
+
+    @property
+    def op_a(self) -> OpKind:
+        return OpKind.TRANS if self.spec.trans_a else OpKind.NOTRANS
+
+    @property
+    def op_b(self) -> OpKind:
+        return OpKind.TRANS if self.spec.trans_b else OpKind.NOTRANS
+
+    @property
+    def trans_a(self) -> bool:
+        return self.spec.trans_a
+
+    @property
+    def trans_b(self) -> bool:
+        return self.spec.trans_b
+
+    @property
+    def alpha(self) -> float:
+        return self.spec.alpha
+
+    @property
+    def beta(self) -> float:
+        return self.spec.beta
+
+    @property
+    def dtype(self) -> str:
+        return self.spec.dtype
+
     @property
     def np_dtype(self) -> np.dtype:
         """The computation dtype as a numpy dtype object."""
-        return np.dtype(self.dtype)
+        return self.spec.np_dtype
 
 
 class _ConvertSite:
@@ -233,6 +268,8 @@ class CompiledPlan:
             key.m, key.k, key.n
         )
         self._a_mm = self._b_mm = self._c_mm = None
+        self._a_eff = self._b_eff = None
+        self._relabel_a = self._relabel_b = False
         self._workspace: Workspace | None = None
         self._tscratch: TaskScratch | None = None
         self._graph: TaskGraph | None = None
@@ -261,9 +298,30 @@ class CompiledPlan:
             )
         # Operand pads are zeroed here, once; every later conversion uses
         # zero_pad=False and writes only the logical region.
+        #
+        # A transposed operand of a Winograd plan is served by quadrant
+        # *relabeling*: its Morton buffer keeps the operand's native
+        # orientation (so the dense->Morton conversion is the same
+        # straight copy a non-transposed run pays — zero extra passes)
+        # and the recursion sees it through a TransposedView.  Strassen
+        # and ip_overwrite plans are not relabel-threaded; they keep the
+        # legacy transpose-fused conversion.
         dt = key.np_dtype
-        self._a_mm = MortonMatrix.zeros(key.m, key.k, tm, tk, dtype=dt)
-        self._b_mm = MortonMatrix.zeros(key.k, key.n, tk, tn, dtype=dt)
+        relabel_ok = key.variant == "winograd" and memory != "ip_overwrite"
+        self._relabel_a = bool(key.trans_a and relabel_ok)
+        self._relabel_b = bool(key.trans_b and relabel_ok)
+        if self._relabel_a:
+            self._a_mm = MortonMatrix.zeros(key.k, key.m, tk, tm, dtype=dt)
+            self._a_eff = transposed_view(self._a_mm)
+        else:
+            self._a_mm = MortonMatrix.zeros(key.m, key.k, tm, tk, dtype=dt)
+            self._a_eff = self._a_mm
+        if self._relabel_b:
+            self._b_mm = MortonMatrix.zeros(key.n, key.k, tn, tk, dtype=dt)
+            self._b_eff = transposed_view(self._b_mm)
+        else:
+            self._b_mm = MortonMatrix.zeros(key.k, key.n, tk, tn, dtype=dt)
+            self._b_eff = self._b_mm
         self._c_mm = MortonMatrix.empty(key.m, key.n, tm, tn, dtype=dt)
         self.buffers_allocated += 3
         # ip_overwrite leaves garbage in the operand pads after every
@@ -283,8 +341,8 @@ class CompiledPlan:
             )
             self.buffers_allocated += self._tscratch.buffer_count
             self._graph = build_winograd_graph(
-                self._a_mm, self._b_mm, self._c_mm, self._tscratch,
-                ops=self._ops,
+                self._a_eff, self._b_eff, self._c_mm, self._tscratch,
+                ops=self._ops, alpha=key.alpha,
             )
         elif memory == "two_temp":
             self._workspace = Workspace(
@@ -341,18 +399,33 @@ class CompiledPlan:
         a: np.ndarray,
         b: np.ndarray,
         c: np.ndarray | None = None,
-        alpha: float = 1.0,
-        beta: float = 0.0,
+        alpha: float | None = None,
+        beta: float | None = None,
         timings: PhaseTimings | None = None,
     ) -> np.ndarray:
-        """``C <- alpha * op(A) . op(B) + beta * C`` with this plan's geometry.
+        """``C <- alpha * op(A) . op(B) + beta * C`` with this plan's spec.
 
-        The transposition ops are the plan's; operand shapes must produce
-        exactly the planned ``(m, k, n)`` (:class:`ShapeError` otherwise).
+        The transposition ops, scaling factors and dtype are the plan's
+        (``alpha``/``beta`` default to the spec's values; passing
+        different ones raises :class:`PlanError` — compile a plan for the
+        new spec instead, the scales are baked into this one's U-adds and
+        epilogue).  Operand shapes must produce exactly the planned
+        ``(m, k, n)`` (:class:`ShapeError` otherwise).
         """
+        key = self.key
+        if alpha is not None and float(alpha) != key.alpha:
+            raise PlanError(
+                f"alpha={alpha} does not match this plan's spec "
+                f"(alpha={key.alpha}); plan the new spec instead"
+            )
+        if beta is not None and float(beta) != key.beta:
+            raise PlanError(
+                f"beta={beta} does not match this plan's spec "
+                f"(beta={key.beta}); plan the new spec instead"
+            )
         p = GemmProblem.create(
-            a, b, op_a=self.key.op_a, op_b=self.key.op_b,
-            alpha=alpha, beta=beta, c=c, dtype=self.key.dtype,
+            a, b, op_a=key.op_a, op_b=key.op_b,
+            alpha=key.alpha, beta=key.beta, c=c, dtype=key.dtype,
         )
         return self.execute_problem(p, c=c, timings=timings)
 
@@ -374,26 +447,48 @@ class CompiledPlan:
                 f"ops {(p.op_a.value, p.op_b.value)} do not match the plan's "
                 f"{(key.op_a.value, key.op_b.value)}"
             )
+        if (p.alpha, p.beta) != (key.alpha, key.beta):
+            raise PlanError(
+                f"alpha/beta {(p.alpha, p.beta)} do not match the plan "
+                f"spec's {(key.alpha, key.beta)}; plan the new spec instead"
+            )
         rec = PhaseTimings()
         extras = _ExecExtras()
         if self.tilings is not None:
+            # alpha is folded into the recursion's final U-adds and beta
+            # into the output conversion — no separate scaling pass.  A
+            # caller C of the computation dtype receives the conversion
+            # directly; beta != 0 guarantees that (GemmProblem.create
+            # rejects a mismatched-dtype C when beta != 0).
+            c_out = c if c is not None and c.dtype == key.np_dtype else None
             d = self._well_behaved_product(
                 p.a, p.b,
                 transpose_a=(p.op_a is OpKind.TRANS),
                 transpose_b=(p.op_b is OpKind.TRANS),
                 rec=rec,
                 extras=extras,
+                c_out=c_out,
             )
-        else:
-            d = self._panelled_product(p, rec, extras)
-            rec.panels = len(self._panels)
+            if timings is not None:
+                timings.to_morton += rec.to_morton
+                timings.compute += rec.compute
+                timings.from_morton += rec.from_morton
+            self.session._record_execution(self, rec, extras)
+            if c is not None and d is not c:
+                c[...] = d
+                return c
+            return d
+        d = self._panelled_product(p, rec, extras)
+        rec.panels = len(self._panels)
         if timings is not None:
             timings.to_morton += rec.to_morton
             timings.compute += rec.compute
             timings.from_morton += rec.from_morton
-            if self.tilings is None:
-                timings.panels = rec.panels
+            timings.panels = rec.panels
         self.session._record_execution(self, rec, extras)
+        # Panelled plans accumulate sub-products into one dense D and keep
+        # the legacy post-scaling (per-panel alpha folding would change
+        # the bit pattern of the accumulation).
         result = p.apply_scaling(d, c)
         if c is not None and result is not c:
             c[...] = result
@@ -427,8 +522,20 @@ class CompiledPlan:
     def _well_behaved_product(
         self, a, b, transpose_a: bool, transpose_b: bool, rec: PhaseTimings,
         extras: "_ExecExtras | None" = None,
+        c_out: np.ndarray | None = None,
     ) -> np.ndarray:
+        """One conversion-recursion-conversion pass through the pooled buffers.
+
+        ``c_out`` is the caller's computation-dtype output array, when it
+        has one: the final conversion writes into it directly, fusing the
+        spec's ``beta`` accumulate into the same sweep.  Without it the
+        product lands in a fresh dense array (spec ``beta`` must be 0 —
+        :meth:`execute_problem` guarantees a ``c_out`` otherwise).
+        Panelled parents call this on their sub-plans with everything
+        defaulted (plain product, spec-free).
+        """
         key = self.key
+        tr = self._ops.trace
         with self._lock:
             if self._debug:
                 self._debug_pre()
@@ -443,24 +550,34 @@ class CompiledPlan:
                 # rewrites logical elements.
                 self._a_mm.buf.fill(0.0)
                 self._b_mm.buf.fill(0.0)
+            # A relabel-served transpose converts the operand in its
+            # native orientation (a straight copy); the recursion reads
+            # the buffer through the compile-time TransposedView.
+            conv_trans_a = transpose_a and not self._relabel_a
+            conv_trans_b = transpose_b and not self._relabel_b
+            if tr is not None and tr.enabled:
+                if self._relabel_a:
+                    tr.emit("relabel", label="a")
+                if self._relabel_b:
+                    tr.emit("relabel", label="b")
             t0 = time.perf_counter()
             self._convert_site(
                 "a", extras,
                 lambda: dense_to_morton(
-                    a, self._a_mm, transpose=transpose_a, zero_pad=False
+                    a, self._a_mm, transpose=conv_trans_a, zero_pad=False
                 ),
                 lambda tab: dense_to_morton(
-                    a, self._a_mm, transpose=transpose_a, zero_pad=False,
+                    a, self._a_mm, transpose=conv_trans_a, zero_pad=False,
                     table=tab, pool=pool, workers=workers or 1,
                 ),
             )
             self._convert_site(
                 "b", extras,
                 lambda: dense_to_morton(
-                    b, self._b_mm, transpose=transpose_b, zero_pad=False
+                    b, self._b_mm, transpose=conv_trans_b, zero_pad=False
                 ),
                 lambda tab: dense_to_morton(
-                    b, self._b_mm, transpose=transpose_b, zero_pad=False,
+                    b, self._b_mm, transpose=conv_trans_b, zero_pad=False,
                     table=tab, pool=pool, workers=workers or 1,
                 ),
             )
@@ -480,25 +597,32 @@ class CompiledPlan:
                     extras.pool_workers = run.workers
             elif key.variant == "winograd":
                 winograd_multiply(
-                    self._a_mm, self._b_mm, self._c_mm,
+                    self._a_eff, self._b_eff, self._c_mm,
                     ops=self._ops, workspace=self._workspace,
-                    memory=key.memory,
+                    memory=key.memory, alpha=key.alpha,
                 )
             else:
                 strassen_multiply(
                     self._a_mm, self._b_mm, self._c_mm,
                     ops=self._ops, workspace=self._workspace,
+                    alpha=key.alpha,
                 )
             t2 = time.perf_counter()
+            beta = key.beta if c_out is not None else 0.0
             out: list = []
             self._convert_site(
                 "c", extras,
-                lambda: out.append(morton_to_dense(self._c_mm)),
+                lambda: out.append(morton_to_dense(
+                    self._c_mm, out=c_out, beta=beta
+                )),
                 lambda tab: out.append(morton_to_dense(
-                    self._c_mm, table=tab, pool=pool, workers=workers or 1
+                    self._c_mm, out=c_out, beta=beta,
+                    table=tab, pool=pool, workers=workers or 1,
                 )),
             )
             d = out[0]
+            if beta != 0.0 and tr is not None and tr.enabled:
+                tr.emit("accumulate", label="c", beta=float(beta))
             t3 = time.perf_counter()
             if extras is not None:
                 extras.fused_adds += self._ops.fused_adds - fused0
@@ -697,12 +821,29 @@ class BatchPlan:
         # buffers, which continue the sequence) from ever landing
         # cache-set-congruent — the paper's Section 4 conflict problem
         # resurfacing at the batch level.
-        self._a = BatchMortonMatrix.zeros(
-            cap, key.m, key.k, tm, tk, dtype=dt, stagger=1
-        )
-        self._b = BatchMortonMatrix.zeros(
-            cap, key.k, key.n, tk, tn, dtype=dt, stagger=2
-        )
+        #
+        # As on the per-item path, a transposed operand of a Winograd
+        # plan keeps its stack in *native* orientation (straight-copy
+        # conversion) and the striped recursion reads it through a
+        # TransposedView; Strassen stays transpose-fused-conversion.
+        self._relabel_a = bool(key.trans_a and key.variant == "winograd")
+        self._relabel_b = bool(key.trans_b and key.variant == "winograd")
+        if self._relabel_a:
+            self._a = BatchMortonMatrix.zeros(
+                cap, key.k, key.m, tk, tm, dtype=dt, stagger=1
+            )
+        else:
+            self._a = BatchMortonMatrix.zeros(
+                cap, key.m, key.k, tm, tk, dtype=dt, stagger=1
+            )
+        if self._relabel_b:
+            self._b = BatchMortonMatrix.zeros(
+                cap, key.n, key.k, tn, tk, dtype=dt, stagger=2
+            )
+        else:
+            self._b = BatchMortonMatrix.zeros(
+                cap, key.k, key.n, tk, tn, dtype=dt, stagger=2
+            )
         self._c = BatchMortonMatrix.zeros(
             cap, key.m, key.n, tm, tn, dtype=dt, stagger=3
         )
@@ -793,19 +934,27 @@ class BatchPlan:
     def _run_stripe(self, lo: int, hi: int) -> None:
         views = self._stripes.get((lo, hi))
         if views is None:
+            a = self._a.stripe(lo, hi)
+            b = self._b.stripe(lo, hi)
+            if self._relabel_a:
+                a = transposed_view(a)
+            if self._relabel_b:
+                b = transposed_view(b)
             views = self._stripes[(lo, hi)] = (
-                self._a.stripe(lo, hi),
-                self._b.stripe(lo, hi),
+                a, b,
                 self._c.stripe(lo, hi),
                 self._ws.view(lo, hi),
             )
         a, b, c, ws = views
         if self.key.variant == "winograd":
             winograd_multiply(
-                a, b, c, ops=self._ops, workspace=ws, memory=self.key.memory
+                a, b, c, ops=self._ops, workspace=ws,
+                memory=self.key.memory, alpha=self.key.alpha,
             )
         else:
-            strassen_multiply(a, b, c, ops=self._ops, workspace=ws)
+            strassen_multiply(
+                a, b, c, ops=self._ops, workspace=ws, alpha=self.key.alpha
+            )
 
     def execute_batch(
         self,
@@ -853,9 +1002,17 @@ class BatchPlan:
                     f"plan's {(key.op_a.value, key.op_b.value)}"
                 )
                 raise BatchItemError(indices[i], cause) from cause
+            # alpha is folded into the one shared recursion, so it cannot
+            # vary per item; beta is a per-item epilogue and may.
+            if p.alpha != key.alpha:
+                cause = PlanError(
+                    f"alpha={p.alpha} does not match the batch plan spec's "
+                    f"alpha={key.alpha}"
+                )
+                raise BatchItemError(indices[i], cause) from cause
         rec = PhaseTimings()
-        transpose_a = key.op_a is OpKind.TRANS
-        transpose_b = key.op_b is OpKind.TRANS
+        transpose_a = key.trans_a and not self._relabel_a
+        transpose_b = key.trans_b and not self._relabel_b
         tr = self._ops.trace
         with self._lock:
             if self._debug:
@@ -867,6 +1024,11 @@ class BatchPlan:
             if key.schedule.parallel and n_items > 1:
                 pool = self.session._ensure_pool()
                 workers = key.schedule.workers or pool.workers
+            if tr is not None and tr.enabled:
+                if self._relabel_a:
+                    tr.emit("relabel", label="batch-a", items=n_items)
+                if self._relabel_b:
+                    tr.emit("relabel", label="batch-b", items=n_items)
             t0 = time.perf_counter()
             saved = self._convert_in(
                 "a", [p.a for p in problems], self._a, transpose_a,
@@ -894,14 +1056,32 @@ class BatchPlan:
                 tracer=tr,
             )
             t2 = time.perf_counter()
-            outs, saved_c = self._convert_out(n_items, pool, workers)
-            saved += saved_c
+            if key.beta == 0.0:
+                # Bulk gather to fresh dense arrays; per-item beta (a
+                # directly-invoked batch may carry one) is applied in the
+                # post-lock epilogue below.
+                outs, saved_c = self._convert_out(n_items, pool, workers)
+                saved += saved_c
+                results = first_err = None
+            else:
+                # The spec's accumulate: each item's product is folded
+                # into its caller C in one fused scale-and-add sweep of
+                # the conversion — never a separate full-matrix pass.
+                outs = None
+                results, first_err = self._fused_convert_out(
+                    problems, cs, indices
+                )
             t3 = time.perf_counter()
             if tr is not None and tr.enabled:
                 tr.emit(
                     "convert", label="batch-out", seconds=t3 - t2,
                     items=n_items, indexed="c" in self._tables,
                 )
+                if key.beta != 0.0:
+                    tr.emit(
+                        "accumulate", label="batch-c",
+                        beta=float(key.beta), items=n_items,
+                    )
             fused_delta = self._ops.fused_adds - fused0
             if self._debug:
                 self._ws.poison()
@@ -916,17 +1096,66 @@ class BatchPlan:
         self.session._record_batch_execution(
             self, n_items, rec, saved, fused_delta
         )
+        if results is None:
+            # beta == 0 epilogue: alpha is already folded into the
+            # recursion, so only the per-item beta/copy-back remains.
+            results = []
+            first_err = None
+            for i, (p, c, d) in enumerate(zip(problems, cs, outs)):
+                try:
+                    if p.beta != 0.0:
+                        c *= p.beta
+                        c += d
+                        r = c
+                    elif c is not None:
+                        c[...] = d
+                        r = c
+                    else:
+                        r = d
+                except Exception as exc:  # noqa: BLE001 - re-raised with index
+                    # Finish the remaining items (their outputs are
+                    # already computed) before reporting the smallest
+                    # failing index.
+                    if first_err is None:
+                        err = BatchItemError(indices[i], exc)
+                        err.__cause__ = exc
+                        first_err = err
+                    results.append(None)
+                    continue
+                results.append(r)
+        if first_err is not None:
+            raise first_err
+        return results
+
+    def _fused_convert_out(self, problems, cs, indices):
+        """Per-item fused beta conversion (lock held); returns results/error.
+
+        Items whose ``beta`` is 0 (or whose C cannot take the computation
+        dtype directly) fall back to a fresh gather plus copy-back; a
+        failing item (e.g. a read-only C) is recorded and the rest still
+        convert, keeping the pooled stacks quiescent.
+        """
+        key = self.key
+        table = self._tables.get("c")
         results = []
         first_err: BatchItemError | None = None
-        for i, (p, c, d) in enumerate(zip(problems, cs, outs)):
+        for i, p in enumerate(problems):
+            c = cs[i]
             try:
-                r = p.apply_scaling(d, c)
-                if c is not None and r is not c:
-                    c[...] = r
-                    r = c
+                if c is not None and (
+                    p.beta != 0.0 or c.dtype == key.np_dtype
+                ):
+                    r = morton_to_dense(
+                        self._c.item(i), out=c, beta=p.beta, table=table
+                    )
+                else:
+                    d = morton_to_dense(self._c.item(i), table=table)
+                    if c is not None:
+                        c[...] = d
+                        r = c
+                    else:
+                        r = d
             except Exception as exc:  # noqa: BLE001 - re-raised with index
-                # Finish the remaining items (their outputs are already
-                # computed) before reporting the smallest failing index.
                 if first_err is None:
                     err = BatchItemError(indices[i], exc)
                     err.__cause__ = exc
@@ -934,9 +1163,7 @@ class BatchPlan:
                 results.append(None)
                 continue
             results.append(r)
-        if first_err is not None:
-            raise first_err
-        return results
+        return results, first_err
 
     # ----------------------------------------------------------- accounting
 

@@ -57,6 +57,7 @@ from .plan import (
     batch_size_class,
     resolve_variant,
 )
+from .spec import GemmSpec
 
 __all__ = [
     "GemmSession",
@@ -231,6 +232,8 @@ class GemmSession:
         self._batch_items = 0
         self._batch_fallbacks = 0
         self._batch_convert_saved = 0.0
+        # (shape, dtype) -> free F-order buffers for evaluate() intermediates.
+        self._expr_pool: dict = {}
 
     # ---------------------------------------------------------- worker pool
 
@@ -269,6 +272,7 @@ class GemmSession:
             self._plans.clear()
             self._batch_plans.clear()
             self._workspaces.clear()
+            self._expr_pool.clear()
             self._scratch_live = 0
         if owned and pool is not None:
             pool.shutdown()
@@ -286,8 +290,8 @@ class GemmSession:
         m: int,
         k: int,
         n: int,
-        op_a: "OpKind | str" = "n",
-        op_b: "OpKind | str" = "n",
+        op_a: "OpKind | str | None" = None,
+        op_b: "OpKind | str | None" = None,
         policy: "TruncationPolicy | int | str | None" = None,
         kernel: "str | LeafKernel | None" = None,
         variant: "str | None" = None,
@@ -295,11 +299,24 @@ class GemmSession:
         schedule: "Schedule | str | None" = None,
         memory: "str | None" = None,
         dtype=None,
+        alpha: float | None = None,
+        beta: float | None = None,
+        trans_a: bool | None = None,
+        trans_b: bool | None = None,
+        spec: "GemmSpec | dict | None" = None,
     ) -> CompiledPlan:
-        """Return the cached plan for a geometry, compiling it on a miss."""
+        """Return the cached plan for a geometry+spec, compiling on a miss.
+
+        The operation semantics — ``alpha``, ``beta``, transposes, dtype
+        — may be given loose (keywords) or as one ``spec``
+        (:class:`~repro.engine.spec.GemmSpec` or dict); explicit keywords
+        override the spec, and ``trans_a``/``trans_b`` win over
+        ``op_a``/``op_b`` spellings.
+        """
         key = self._make_key(
             m, k, n, op_a, op_b, policy, kernel, variant, parallel, schedule,
-            memory, dtype,
+            memory, dtype, alpha=alpha, beta=beta,
+            trans_a=trans_a, trans_b=trans_b, spec=spec,
         )
         return self._plan_from_key(key)
 
@@ -389,7 +406,8 @@ class GemmSession:
 
     def _make_key(
         self, m, k, n, op_a, op_b, policy, kernel, variant, parallel, schedule,
-        memory=None, dtype=None,
+        memory=None, dtype=None, *, alpha=None, beta=None,
+        trans_a=None, trans_b=None, spec=None,
     ) -> PlanKey:
         variant = (
             self.default_variant if variant is None else resolve_variant(variant)
@@ -422,29 +440,21 @@ class GemmSession:
                 "(leaf recursions would clobber shared operand quadrants); "
                 "use memory='two_temp' for a low-memory parallel schedule"
             )
-        if dtype is None:
-            dt_name = "float64"
-        else:
-            dt = np.dtype(dtype)
-            if dt not in (np.dtype(np.float64), np.dtype(np.float32)):
-                raise PlanError(
-                    f"unsupported dtype {dt}; the engine supports float64 "
-                    "and float32"
-                )
-            dt_name = dt.name
+        gspec = GemmSpec.coerce(
+            spec, alpha=alpha, beta=beta, op_a=op_a, op_b=op_b,
+            trans_a=trans_a, trans_b=trans_b, dtype=dtype,
+        )
         return PlanKey(
             m=int(m),
             k=int(k),
             n=int(n),
-            op_a=OpKind.parse(op_a),
-            op_b=OpKind.parse(op_b),
             policy=self.default_policy if policy is None
             else TruncationPolicy.coerce(policy),
             kernel=self.default_kernel if kernel is None else get_kernel(kernel),
             variant=variant,
             schedule=sched,
             memory=mem,
-            dtype=dt_name,
+            spec=gspec,
         )
 
     # ------------------------------------------------------------ execution
@@ -466,34 +476,40 @@ class GemmSession:
         timings: PhaseTimings | None = None,
         memory: "str | None" = None,
         dtype=None,
+        trans_a: bool | None = None,
+        trans_b: bool | None = None,
     ) -> np.ndarray:
         """``C <- alpha * op(A) . op(B) + beta * C`` through the plan cache.
 
-        Identical contract (and bit-identical results) to
-        :func:`repro.modgemm`; repeated same-geometry calls skip planning
-        and buffer allocation entirely.  ``schedule`` selects the execution
-        mode, ``memory`` the recursion's scratch schedule (all modes
-        produce bit-identical results) and ``dtype`` the computation
-        precision — ``float64`` (default) or ``float32``; the dtype is
-        part of the plan key, so both precisions of one geometry coexist
-        in the cache.
+        Identical contract to :func:`repro.modgemm`; repeated same-spec
+        calls skip planning and buffer allocation entirely.  ``schedule``
+        selects the execution mode, ``memory`` the recursion's scratch
+        schedule (all modes produce bit-identical results) and ``dtype``
+        the computation precision — ``float64`` (default) or ``float32``.
+        The full operation spec (``alpha``, ``beta``, transposes, dtype)
+        is part of the plan key, so the semantics compile *into* the
+        cached plan: alpha into its final U-adds, beta into its output
+        conversion, transposes into a zero-copy quadrant relabel.
+        ``trans_a``/``trans_b`` are boolean aliases winning over the
+        ``op_a``/``op_b`` spellings.
         """
         p = GemmProblem.create(
             a, b, op_a=op_a, op_b=op_b, alpha=alpha, beta=beta, c=c,
-            dtype=dtype,
+            dtype=dtype, trans_a=trans_a, trans_b=trans_b,
         )
-        plan = self.plan(
-            p.m, p.k, p.n, op_a=p.op_a, op_b=p.op_b,
-            policy=policy, kernel=kernel, variant=variant,
-            parallel=parallel, schedule=schedule, memory=memory, dtype=dtype,
+        key = self._make_key(
+            p.m, p.k, p.n, p.op_a, p.op_b, policy, kernel, variant,
+            parallel, schedule, memory, dtype, alpha=alpha, beta=beta,
         )
+        plan = self._plan_from_key(key)
         return plan.execute_problem(p, c=c, timings=timings)
 
     #: Option names an item dict (or ``**kwargs``) may carry in
     #: :meth:`multiply_many`, beyond the operands ``a``/``b``/``c``.
     _MANY_OPTS = frozenset((
-        "alpha", "beta", "op_a", "op_b", "policy", "kernel", "variant",
-        "parallel", "schedule", "memory", "dtype", "timings",
+        "alpha", "beta", "op_a", "op_b", "trans_a", "trans_b", "policy",
+        "kernel", "variant", "parallel", "schedule", "memory", "dtype",
+        "timings",
     ))
 
     def multiply_many(
@@ -569,6 +585,7 @@ class GemmSession:
                     op_a=opts.get("op_a", "n"), op_b=opts.get("op_b", "n"),
                     alpha=opts.get("alpha", 1.0), beta=opts.get("beta", 0.0),
                     c=c, dtype=opts.get("dtype"),
+                    trans_a=opts.get("trans_a"), trans_b=opts.get("trans_b"),
                 )
                 key = self._make_key(
                     p.m, p.k, p.n, p.op_a, p.op_b,
@@ -576,6 +593,7 @@ class GemmSession:
                     opts.get("variant"), opts.get("parallel", False),
                     opts.get("schedule"), opts.get("memory"),
                     opts.get("dtype"),
+                    alpha=p.alpha, beta=p.beta,
                 )
                 specs.append((p, key, c, opts.get("timings")))
             except Exception as exc:
@@ -673,6 +691,10 @@ class GemmSession:
         variant: "str | None" = None,
         workspace: Workspace | None = None,
         memory: "str | None" = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        trans_a: bool = False,
+        trans_b: bool = False,
     ) -> MortonMatrix:
         """Multiply operands already in Morton order (Figure 8 regime).
 
@@ -684,6 +706,14 @@ class GemmSession:
         ``workspace`` bypasses the pool (and its lock) exactly as the
         historical API did.  With ``memory="ip_overwrite"`` the caller's
         ``a_mm``/``b_mm`` buffers are destroyed.
+
+        ``alpha``/``beta``/``trans_a``/``trans_b`` give the full dgemm
+        contract on the Morton surface: a transpose is a zero-copy
+        quadrant relabel, ``beta`` stages the product and folds it into
+        ``c_mm`` (which it therefore requires).  The Winograd variant
+        carries all four; Strassen (the ablation baseline) supports
+        ``alpha`` only, and ``ip_overwrite`` cannot consume relabeled
+        operands (:class:`PlanError` either way).
         """
         variant = (
             self.default_variant if variant is None else resolve_variant(variant)
@@ -701,26 +731,52 @@ class GemmSession:
                 f"memory={mem!r} is a Winograd schedule; "
                 f"variant={variant!r} supports only memory='classic'"
             )
+        if variant != "winograd" and (trans_a or trans_b or beta != 0.0):
+            raise PlanError(
+                "transpose relabeling and beta accumulation on the Morton "
+                f"surface require variant='winograd'; got {variant!r}"
+            )
+        if (trans_a or trans_b) and mem == "ip_overwrite":
+            raise PlanError(
+                "memory='ip_overwrite' cannot consume relabeled "
+                "(transposed) operands; use memory='two_temp' or 'classic'"
+            )
+        if beta != 0.0 and c_mm is None:
+            raise PlanError("beta != 0 requires an existing c_mm operand")
         ops = NumpyOps(kern, trace=self.trace, validate=self.debug)
+
+        # op(A) is (ar x ak) with (atr x atk) tiles; op(B) contributes the
+        # output's column geometry.
+        if trans_a:
+            ar, atr, atk = a_mm.cols, a_mm.tile_c, a_mm.tile_r
+        else:
+            ar, atr, atk = a_mm.rows, a_mm.tile_r, a_mm.tile_c
+        bn, btn = (
+            (b_mm.rows, b_mm.tile_r) if trans_b else (b_mm.cols, b_mm.tile_c)
+        )
 
         def run(c: MortonMatrix, ws: Workspace | None) -> None:
             if variant == "winograd":
                 winograd_multiply(
-                    a_mm, b_mm, c, ops=ops, workspace=ws, memory=mem
+                    a_mm, b_mm, c, ops=ops, workspace=ws, memory=mem,
+                    alpha=alpha, beta=beta,
+                    trans_a=trans_a, trans_b=trans_b,
                 )
             else:
-                strassen_multiply(a_mm, b_mm, c, ops=ops, workspace=ws)
+                strassen_multiply(
+                    a_mm, b_mm, c, ops=ops, workspace=ws, alpha=alpha
+                )
 
         def fresh_c() -> MortonMatrix:
             return MortonMatrix(
                 buf=np.empty(
-                    (a_mm.tile_r << a_mm.depth) * (b_mm.tile_c << b_mm.depth),
+                    (atr << a_mm.depth) * (btn << b_mm.depth),
                     dtype=np.float64,
                 ),
-                rows=a_mm.rows,
-                cols=b_mm.cols,
-                tile_r=a_mm.tile_r,
-                tile_c=b_mm.tile_c,
+                rows=ar,
+                cols=bn,
+                tile_r=atr,
+                tile_c=btn,
                 depth=a_mm.depth,
             )
 
@@ -731,7 +787,7 @@ class GemmSession:
             self._fold_fused(ops)
             return c_mm
         ws, ws_lock, c_buf = self._pooled_workspace(
-            a_mm.depth, a_mm.tile_r, a_mm.tile_c, b_mm.tile_c, mem
+            a_mm.depth, atr, atk, btn, mem
         )
         with ws_lock:
             if c_mm is None:
@@ -739,15 +795,43 @@ class GemmSession:
                 # (same padded geometry can serve many logical sizes).
                 c_mm = MortonMatrix(
                     buf=c_buf,
-                    rows=a_mm.rows,
-                    cols=b_mm.cols,
-                    tile_r=a_mm.tile_r,
-                    tile_c=b_mm.tile_c,
+                    rows=ar,
+                    cols=bn,
+                    tile_r=atr,
+                    tile_c=btn,
                     depth=a_mm.depth,
                 )
             run(c_mm, ws)
         self._fold_fused(ops)
         return c_mm
+
+    def evaluate(
+        self,
+        expr,
+        *,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        c: np.ndarray | None = None,
+        dtype=None,
+        **opts,
+    ) -> np.ndarray:
+        """Evaluate a product chain: ``alpha * (L1 @ ... @ Ln) + beta * C``.
+
+        ``expr`` is built from :class:`repro.engine.expr.Mat` leaves joined
+        with ``@`` (``Mat(A).T`` marks a zero-copy transpose).  The
+        association order is chosen by the matrix-chain cost model, each
+        pairwise product runs through :meth:`multiply` (one cached plan
+        per geometry), and intermediates reuse the session's pooled
+        expression buffers.  ``alpha``/``beta``/``c`` apply to the root
+        product; remaining ``opts`` (``kernel=``, ``memory=``,
+        ``schedule=`` ...) are forwarded to every multiply.
+        """
+        from .expr import evaluate as _evaluate
+
+        return _evaluate(
+            self, expr, alpha=alpha, beta=beta, c=c, dtype=dtype,
+            pool=self._expr_pool, **opts,
+        )
 
     def _fold_fused(self, ops: NumpyOps) -> None:
         """Fold one backend's fused-pass counter into the session's."""
@@ -904,6 +988,7 @@ class GemmSession:
             self._plans.clear()
             self._batch_plans.clear()
             self._workspaces.clear()
+            self._expr_pool.clear()
             self._scratch_live = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

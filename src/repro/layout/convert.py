@@ -183,14 +183,24 @@ def dense_to_morton(
 def morton_to_dense(
     m: MortonMatrix, out: np.ndarray | None = None,
     table: ConversionTable | None = None, pool=None, workers: int = 1,
+    beta: float = 0.0,
 ) -> np.ndarray:
     """Copy Morton matrix ``m`` back to a dense array of its logical shape.
 
     A fresh destination is allocated in Fortran order (the layout the BLAS
     interface traffics in); pass ``out`` to write into an existing array.
     ``table``/``pool``/``workers`` behave as in :func:`dense_to_morton`.
+
+    ``beta`` fuses the GEMM accumulate into the conversion: the result is
+    ``out = m + beta * out`` — elementwise identical to the legacy
+    ``out *= beta; out += dense(m)`` two-pass (each element is scaled then
+    added independently), but the destination is traversed once instead of
+    three times.  Requires ``out``; the pooled split is skipped so the
+    scale/add pair stays a single-threaded, deterministic sweep.
     """
     if out is None:
+        if beta != 0.0:
+            raise ValueError("beta != 0 requires an existing out array")
         out = np.empty((m.rows, m.cols), dtype=m.buf.dtype, order="F")
     elif out.shape != m.shape:
         raise ValueError(f"out shape {out.shape} != logical shape {m.shape}")
@@ -206,9 +216,18 @@ def morton_to_dense(
         elif out.flags.c_contiguous:
             flat_idx, flat_out = table.flat_c, out.reshape(-1)
         else:
-            out[...] = buf[table.offsets]
+            if beta != 0.0:
+                out *= beta
+                out += buf[table.offsets]
+            else:
+                out[...] = buf[table.offsets]
             return out
-        if pool is not None and flat_out.size >= workers * PARALLEL_CONVERT_MIN:
+        if beta != 0.0:
+            flat_out *= beta
+            flat_out += buf[flat_idx]
+        elif pool is not None and (
+            flat_out.size >= workers * PARALLEL_CONVERT_MIN
+        ):
             def gather(sl):
                 return lambda: np.take(buf, flat_idx[sl], out=flat_out[sl])
             pool.run_all([gather(sl) for sl in table.chunks(workers)],
@@ -226,7 +245,11 @@ def morton_to_dense(
         r1 = min(r0 + tr, m.rows)
         c1 = min(c0 + tc, m.cols)
         tile2d = m.buf[t.offset : t.offset + tile_elems].reshape(tc, tr).T
-        out[r0:r1, c0:c1] = tile2d[: r1 - r0, : c1 - c0]
+        if beta != 0.0:
+            out[r0:r1, c0:c1] *= beta
+            out[r0:r1, c0:c1] += tile2d[: r1 - r0, : c1 - c0]
+        else:
+            out[r0:r1, c0:c1] = tile2d[: r1 - r0, : c1 - c0]
     return out
 
 

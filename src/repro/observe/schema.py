@@ -42,6 +42,8 @@ EVENT_KINDS = (
     "exec",           # one plan execution completed (phase breakdown)
     "error",          # an execution, task or batch item failed
     "cancel",         # a queued task graph was cancelled (pool shutdown)
+    "accumulate",     # a beta-scaled fold of a product into a live C
+    "relabel",        # a transpose served by Morton quadrant relabeling
 )
 
 #: JSON Schema (draft-07 subset) for trace-document version 1.

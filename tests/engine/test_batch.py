@@ -251,7 +251,11 @@ class TestMultiplyManyContract:
         assert np.array_equal(outs[0], outs[1])
         assert outs[2] is c
         assert_gemm_close(c, 2.0 * ref + c0)
-        assert np.array_equal(outs[3], outs[0])
+        # The transposed item consumes A through a Morton quadrant-swap
+        # relabel (zero-copy), so its leaf kernels see transposed strides;
+        # BLAS results are not bitwise layout-invariant, hence tolerance
+        # equality rather than bit equality against the plain item.
+        assert_gemm_close(outs[3], outs[0])
 
     def test_per_item_policy_override_splits_groups(self, rng, session):
         pairs = _pairs(rng, 96, 4)

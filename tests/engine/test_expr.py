@@ -1,0 +1,160 @@
+"""The chained-expression planner: Mat/MatChain and session.evaluate."""
+
+import numpy as np
+import pytest
+
+from repro.engine import GemmSession, Mat, MatChain, chain_order
+from repro.errors import PlanError, ShapeError
+
+from ..conftest import assert_gemm_close
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(777)
+
+
+class TestMatAlgebra:
+    def test_leaf_shape_and_transpose(self, rng):
+        m = Mat(rng.standard_normal((3, 5)))
+        assert m.shape == (3, 5)
+        assert m.T.shape == (5, 3)
+        assert m.T.T.shape == (3, 5)
+        assert not m.T.T.trans
+
+    def test_non_2d_leaf_rejected(self):
+        with pytest.raises(ShapeError):
+            Mat(np.zeros(4))
+
+    def test_chain_building_and_shape(self, rng):
+        a = Mat(rng.standard_normal((3, 4)))
+        b = Mat(rng.standard_normal((4, 5)))
+        c = Mat(rng.standard_normal((5, 2)))
+        chain = a @ b @ c
+        assert isinstance(chain, MatChain)
+        assert len(chain.leaves) == 3
+        assert chain.shape == (3, 2)
+
+    def test_inner_dim_mismatch_rejected(self, rng):
+        a = Mat(rng.standard_normal((3, 4)))
+        b = Mat(rng.standard_normal((5, 6)))
+        with pytest.raises(ShapeError):
+            a @ b
+
+    def test_chain_transpose_rejected(self, rng):
+        a = Mat(rng.standard_normal((3, 4)))
+        b = Mat(rng.standard_normal((4, 5)))
+        with pytest.raises(PlanError):
+            (a @ b).T
+
+    def test_raw_arrays_coerce_to_leaves(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 5))
+        chain = Mat(a) @ b
+        assert len(chain.leaves) == 2
+
+
+class TestChainOrder:
+    def test_textbook_example(self):
+        # CLRS 15.2: dims (30, 35, 15, 5, 10, 20, 25) -> 15125 multiplies.
+        cost, splits = chain_order([30, 35, 15, 5, 10, 20, 25])
+        assert cost == 15125
+        assert splits[0][5] == 2  # optimal root split after matrix 3
+
+    def test_two_matrices_trivial(self):
+        cost, splits = chain_order([4, 8, 2])
+        assert cost == 4 * 8 * 2
+        assert splits[0][1] == 0
+
+    def test_association_order_matters(self):
+        # (A @ B) @ C vs A @ (B @ C) with a skinny middle: the DP must
+        # pick the cheap side.
+        cost, splits = chain_order([100, 2, 100, 2])
+        # right-assoc: B@C costs 2*100*2, then A@(BC) costs 100*2*2.
+        assert cost == 2 * 100 * 2 + 100 * 2 * 2
+        assert splits[0][2] == 0
+
+
+class TestEvaluate:
+    def test_three_chain_matches_numpy(self, rng):
+        a = rng.standard_normal((40, 90))
+        b = rng.standard_normal((90, 8))
+        c = rng.standard_normal((8, 70))
+        with GemmSession() as s:
+            out = s.evaluate(Mat(a) @ Mat(b) @ Mat(c))
+        assert_gemm_close(out, a @ b @ c, tol=1e-8)
+
+    def test_transposed_leaves(self, rng):
+        a = rng.standard_normal((90, 40))
+        b = rng.standard_normal((90, 8))
+        c = rng.standard_normal((70, 8))
+        with GemmSession() as s:
+            out = s.evaluate(Mat(a).T @ Mat(b) @ Mat(c).T)
+        assert_gemm_close(out, a.T @ b @ c.T, tol=1e-8)
+
+    def test_alpha_beta_c_apply_at_root_only(self, rng):
+        a = rng.standard_normal((32, 48))
+        b = rng.standard_normal((48, 24))
+        d = rng.standard_normal((24, 40))
+        c0 = rng.standard_normal((32, 40))
+        c = c0.copy()
+        with GemmSession() as s:
+            out = s.evaluate(Mat(a) @ Mat(b) @ Mat(d), alpha=0.5,
+                             beta=2.0, c=c)
+        assert out is c
+        assert_gemm_close(out, 0.5 * (a @ b @ d) + 2.0 * c0, tol=1e-8)
+
+    def test_single_leaf_rejected(self, rng):
+        with GemmSession() as s:
+            with pytest.raises(PlanError):
+                s.evaluate(Mat(rng.standard_normal((4, 4))))
+
+    def test_intermediate_buffers_are_pooled(self, rng):
+        a = rng.standard_normal((32, 32))
+        b = rng.standard_normal((32, 32))
+        c = rng.standard_normal((32, 32))
+        with GemmSession() as s:
+            s.evaluate(Mat(a) @ Mat(b) @ Mat(c))
+            pooled = {
+                key: [id(buf) for buf in bufs]
+                for key, bufs in s._expr_pool.items()
+            }
+            assert pooled  # the intermediate went back to the pool
+            s.evaluate(Mat(a) @ Mat(b) @ Mat(c))
+            # Second evaluation reuses the same buffer objects.
+            again = {
+                key: [id(buf) for buf in bufs]
+                for key, bufs in s._expr_pool.items()
+            }
+        assert pooled == again
+
+    def test_evaluate_forwards_engine_options(self, rng):
+        a = rng.standard_normal((32, 32))
+        b = rng.standard_normal((32, 32))
+        c = rng.standard_normal((32, 32))
+        with GemmSession() as s:
+            out = s.evaluate(Mat(a) @ Mat(b) @ Mat(c), memory="two_temp")
+            ref = s.evaluate(Mat(a) @ Mat(b) @ Mat(c))
+        assert np.array_equal(out, ref)  # memory schedules stay bit-identical
+
+    def test_long_chain_uses_cost_model(self, rng):
+        # A chain whose optimal association is right-to-left: the planner
+        # must not blow up on the (expensive) left-assoc order and the
+        # result must still match numpy.
+        mats = [rng.standard_normal(s) for s in
+                [(4, 96), (96, 4), (4, 96), (96, 4), (4, 64)]]
+        expr = Mat(mats[0])
+        for m in mats[1:]:
+            expr = expr @ Mat(m)
+        with GemmSession() as s:
+            out = s.evaluate(expr)
+        ref = mats[0] @ mats[1] @ mats[2] @ mats[3] @ mats[4]
+        assert_gemm_close(out, ref, tol=1e-8)
+
+    def test_clear_drops_expression_pool(self, rng):
+        a = rng.standard_normal((16, 16))
+        with GemmSession() as s:
+            s.evaluate(Mat(a) @ Mat(a) @ Mat(a))
+            assert s._expr_pool
+            s.clear()
+            assert not s._expr_pool
