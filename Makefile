@@ -39,6 +39,9 @@ bench-smoke:
 	PYTHONPATH=src BENCH_SEMANTICS_QUICK=1 $(PYTHON) -m pytest \
 		benchmarks/test_bench_semantics.py -q
 	$(PYTHON) benchmarks/validate_bench_semantics.py
+	PYTHONPATH=src BENCH_CONVERT_QUICK=1 $(PYTHON) -m pytest \
+		benchmarks/test_bench_convert.py -q
+	$(PYTHON) benchmarks/validate_bench_convert.py
 
 # Traced 513x513 multiply end to end; validates the dumped trace
 # document against TRACE_SCHEMA and prints a per-worker summary.

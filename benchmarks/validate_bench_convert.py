@@ -1,0 +1,169 @@
+"""Dependency-free schema validator for BENCH_convert.json.
+
+Usage::
+
+    python benchmarks/validate_bench_convert.py [path]
+
+Exits non-zero (listing every problem found) when the file is missing,
+is not JSON, does not match the schema the convert-fusion benchmark
+emits, or violates the fused-packing guarantees:
+
+* every guarded row must be **bit-identical** between the fused and
+  two-pass plans,
+* the traced conversion fraction must *drop* with fusion on in every
+  guarded row (fused converts three quadrants per operand, not four),
+* at least one row must cover the paper's flagship size (n >= 513).
+
+Rows carrying a ``kernel`` key are informational backend legs (e.g. the
+optional numba kernel) and are schema-checked but not guarded.
+
+Run by ``make bench-smoke`` and CI after the benchmark itself.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_convert.json"
+
+GUARD_MIN_N = 513
+
+SECONDS_FIELDS = (
+    "fused_wall_seconds",
+    "unfused_wall_seconds",
+    "fused_convert_seconds",
+    "unfused_convert_seconds",
+)
+
+
+def _check(cond: bool, message: str, problems: list) -> bool:
+    if not cond:
+        problems.append(message)
+    return cond
+
+
+def _number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate(data, problems: list) -> None:
+    _check(isinstance(data, dict), "top level must be an object", problems)
+    if not isinstance(data, dict):
+        return
+    _check(
+        data.get("benchmark") == "convert-fusion",
+        "benchmark must be 'convert-fusion'", problems,
+    )
+    _check(
+        isinstance(data.get("schema_version"), int),
+        "schema_version must be an int", problems,
+    )
+    _check(isinstance(data.get("quick"), bool), "quick must be a bool",
+           problems)
+    _check(
+        isinstance(data.get("have_numba"), bool),
+        "have_numba must be a bool", problems,
+    )
+
+    host = data.get("host")
+    if _check(isinstance(host, dict), "host must be an object", problems):
+        _check(
+            isinstance(host.get("cpu_count"), int) and host["cpu_count"] >= 1,
+            "host.cpu_count must be a positive int", problems,
+        )
+
+    rows = data.get("rows")
+    if not _check(
+        isinstance(rows, list) and rows, "rows must be a non-empty list",
+        problems,
+    ):
+        return
+
+    flagship_rows = 0
+    for i, row in enumerate(rows):
+        where = f"rows[{i}]"
+        if not _check(isinstance(row, dict), f"{where} must be an object",
+                      problems):
+            continue
+        _check(
+            isinstance(row.get("n"), int) and row["n"] >= 1,
+            f"{where}.n must be a positive int", problems,
+        )
+        if "kernel" in row:  # informational backend leg: schema only
+            for field in ("fused_wall_seconds", "fused_convert_seconds"):
+                _check(
+                    _number(row.get(field)) and row[field] > 0,
+                    f"{where}.{field} must be a positive number", problems,
+                )
+            continue
+
+        for field in SECONDS_FIELDS:
+            _check(
+                _number(row.get(field)) and row[field] > 0,
+                f"{where}.{field} must be a positive number", problems,
+            )
+        _check(
+            _number(row.get("fused_pack_seconds"))
+            and row["fused_pack_seconds"] >= 0,
+            f"{where}.fused_pack_seconds must be a non-negative number",
+            problems,
+        )
+        for field in ("fused_convert_fraction", "unfused_convert_fraction"):
+            _check(
+                _number(row.get(field)) and 0.0 <= row[field] <= 1.0,
+                f"{where}.{field} must be a number in [0, 1]", problems,
+            )
+
+        # ---- the fused-packing guards --------------------------------
+        _check(
+            row.get("bit_identical") is True,
+            f"{where}: fused and two-pass results differ at "
+            f"n={row.get('n')} (fusion must be bit-exact)", problems,
+        )
+        frac_f = row.get("fused_convert_fraction")
+        frac_u = row.get("unfused_convert_fraction")
+        if _number(frac_f) and _number(frac_u):
+            _check(
+                frac_f < frac_u,
+                f"{where}: traced conversion fraction did not drop with "
+                f"fusion at n={row.get('n')} "
+                f"({frac_f * 100:.1f}% fused vs {frac_u * 100:.1f}% "
+                "unfused)", problems,
+            )
+        if isinstance(row.get("n"), int) and row["n"] >= GUARD_MIN_N:
+            flagship_rows += 1
+
+    _check(
+        flagship_rows >= 1,
+        f"no flagship row present (need at least one n >= {GUARD_MIN_N})",
+        problems,
+    )
+
+
+def main(argv: list) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    problems: list = []
+    if not path.is_file():
+        print(f"FAIL: {path} does not exist (run the benchmark first)")
+        return 1
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as exc:
+        print(f"FAIL: {path} is not valid JSON: {exc}")
+        return 1
+    validate(data, problems)
+    if problems:
+        print(f"FAIL: {path} has {len(problems)} problem(s):")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(
+        f"OK: {path} ({len(data['rows'])} rows, quick={data['quick']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,8 +13,14 @@ from .kernels import (
     leaf_matmul,
     blocked_matmul,
     naive_matmul,
+    mixed_matmul,
+    HAVE_NUMBA,
     KERNELS,
+    register_kernel,
     get_kernel,
+    get_batch_kernel,
+    get_accumulate_cap,
+    set_accumulate_cap,
 )
 
 __all__ = [
@@ -24,6 +30,12 @@ __all__ = [
     "leaf_matmul",
     "blocked_matmul",
     "naive_matmul",
+    "mixed_matmul",
+    "HAVE_NUMBA",
     "KERNELS",
+    "register_kernel",
     "get_kernel",
+    "get_batch_kernel",
+    "get_accumulate_cap",
+    "set_accumulate_cap",
 ]

@@ -285,6 +285,8 @@ def build_winograd_graph(
     scratch: TaskScratch,
     ops: WinogradOps | None = None,
     alpha: float = 1.0,
+    pack_a=None,
+    pack_b=None,
 ) -> TaskGraph:
     """Build the reusable task DAG computing ``C = alpha . A . B``.
 
@@ -295,16 +297,42 @@ def build_winograd_graph(
     ``a.depth >= 1`` (use the sequential path for leaf-only operands).
     The operands may be :class:`~repro.layout.relabel.TransposedView`
     wrappers; the expansion relabels its per-node scratch to match.
+
+    ``pack_a``/``pack_b`` (both or neither) are fused convert-and-pack
+    closures that become the graph's two root tasks: each converts its
+    operand's consumed quadrants and packs the S1/S3 (T1/T3) sums —
+    S1/T1 into the A21/B12 quadrant slots, S3/T3 into ``root.s[2]`` /
+    ``root.t[2]`` (the graph's S3/T3 buffers).  The outermost expansion
+    then skips its four S1/S3/T1/T3 sum tasks and every consumer gains a
+    dependency edge on the pack task of the operand side it reads; the
+    two operand conversions also overlap on the pool instead of running
+    sequentially before the graph.  Requires plain (non-relabeled)
+    operands.
     """
     _check_conformable(a, b, c)
     if not scratch.matches(a, b):
         raise ValueError("scratch geometry does not match the operands")
+    if (pack_a is None) != (pack_b is None):
+        raise ValueError("pack_a and pack_b must be given together")
+    prepacked = pack_a is not None
+    if prepacked and (
+        getattr(a, "transposed", False) or getattr(b, "transposed", False)
+    ):
+        raise ValueError(
+            "fused packing cannot consume relabeled (transposed) operands"
+        )
     if ops is None:
         ops = NumpyOps()
     graph = TaskGraph(name=f"winograd-{a.rows}x{a.cols}x{b.cols}")
     graph.tracer = getattr(ops, "trace", None)
+    deps_a: tuple = ()
+    deps_b: tuple = ()
+    if prepacked:
+        deps_a = (graph.add(pack_a, label="pack_a"),)
+        deps_b = (graph.add(pack_b, label="pack_b"),)
     _expand(graph, ops, scratch, a, b, c, scratch.root,
-            scratch.parallel_depth, (), (), alpha)
+            scratch.parallel_depth, deps_a, deps_b, alpha,
+            prepacked=prepacked)
     return graph
 
 
@@ -320,6 +348,7 @@ def _expand(
     deps_a: tuple,
     deps_b: tuple,
     alpha: float = 1.0,
+    prepacked: bool = False,
 ) -> list:
     """Emit tasks computing ``c = alpha . a . b``; return c's final tasks.
 
@@ -369,14 +398,41 @@ def _expand(
     # Operand sums (Section 2): chained in dataflow order.  Dedicated
     # destination buffers replace the sequential schedule's recycled S/T
     # scratch, so the four sums per side can proceed concurrently.
-    ts1 = graph.add(op2(ops.add, s1, a21, a22), deps=deps_a, label="S1")
-    ts2 = graph.add(op2(ops.sub, s2, s1, a11), deps=(ts1, *deps_a), label="S2")
-    ts3 = graph.add(op2(ops.sub, s3, a11, a21), deps=deps_a, label="S3")
-    ts4 = graph.add(op2(ops.sub, s4, a12, s2), deps=(ts2, *deps_a), label="S4")
-    tt1 = graph.add(op2(ops.sub, t1, b12, b11), deps=deps_b, label="T1")
-    tt2 = graph.add(op2(ops.sub, t2, b22, t1), deps=(tt1, *deps_b), label="T2")
-    tt3 = graph.add(op2(ops.sub, t3, b22, b12), deps=deps_b, label="T3")
-    tt4 = graph.add(op2(ops.sub, t4, b21, t2), deps=(tt2, *deps_b), label="T4")
+    if prepacked:
+        # The root pack tasks (in deps_a/deps_b) already materialised
+        # S1/T1 in the A21/B12 quadrant slots and S3/T3 in this node's
+        # s[2]/t[2] buffers; only the S2/S4 and T2/T4 chains remain.
+        s1 = a.quadrant(1, 0)
+        t1 = b.quadrant(0, 1)
+        ts2 = graph.add(op2(ops.sub, s2, s1, a11), deps=deps_a, label="S2")
+        ts4 = graph.add(
+            op2(ops.sub, s4, a12, s2), deps=(ts2, *deps_a), label="S4"
+        )
+        tt2 = graph.add(op2(ops.sub, t2, b22, t1), deps=deps_b, label="T2")
+        tt4 = graph.add(
+            op2(ops.sub, t4, b21, t2), deps=(tt2, *deps_b), label="T4"
+        )
+        p3_deps = (deps_a, deps_b)
+        p5_deps = (deps_a, deps_b)
+    else:
+        ts1 = graph.add(op2(ops.add, s1, a21, a22), deps=deps_a, label="S1")
+        ts2 = graph.add(
+            op2(ops.sub, s2, s1, a11), deps=(ts1, *deps_a), label="S2"
+        )
+        ts3 = graph.add(op2(ops.sub, s3, a11, a21), deps=deps_a, label="S3")
+        ts4 = graph.add(
+            op2(ops.sub, s4, a12, s2), deps=(ts2, *deps_a), label="S4"
+        )
+        tt1 = graph.add(op2(ops.sub, t1, b12, b11), deps=deps_b, label="T1")
+        tt2 = graph.add(
+            op2(ops.sub, t2, b22, t1), deps=(tt1, *deps_b), label="T2"
+        )
+        tt3 = graph.add(op2(ops.sub, t3, b22, b12), deps=deps_b, label="T3")
+        tt4 = graph.add(
+            op2(ops.sub, t4, b21, t2), deps=(tt2, *deps_b), label="T4"
+        )
+        p3_deps = ((ts1,), (tt1,))
+        p5_deps = ((ts3,), (tt3,))
 
     kids = node.children or [None] * 7
 
@@ -386,9 +442,9 @@ def _expand(
 
     p1 = product(0, a11, b11, deps_a, deps_b)
     p2 = product(1, a12, b21, deps_a, deps_b)
-    p3 = product(2, s1, t1, (ts1,), (tt1,))
+    p3 = product(2, s1, t1, *p3_deps)
     p4 = product(3, s2, t2, (ts2,), (tt2,))
-    p5 = product(4, s3, t3, (ts3,), (tt3,))
+    p5 = product(4, s3, t3, *p5_deps)
     p6 = product(5, s4, b22, (ts4,), deps_b)
     p7 = product(6, a22, t4, deps_a, (tt4,))
 

@@ -64,10 +64,33 @@ __all__ = [
     "multiply_morton",
     "MEMORY_SCHEDULES",
     "resolve_memory",
+    "FUSED_PACKS_A",
+    "FUSED_PACKS_B",
+    "FUSED_SKIP_A",
+    "FUSED_SKIP_B",
+    "CONVERT_QUADS_A",
+    "CONVERT_QUADS_B",
 ]
 
 #: Selectable memory schedules, in decreasing scratch order.
 MEMORY_SCHEDULES = ("classic", "two_temp", "ip_overwrite")
+
+#: Quadrant algebra of the top-level fused packs (consumed by
+#: :func:`repro.layout.convert.pack_morton_quarter`): name, sign, and the
+#: two dense quadrants combined.  ``S1 = A21 + A22`` lands in the A21
+#: buffer slot and ``T1 = B12 - B11`` in the B12 slot — those quadrants
+#: are never consumed as plain Morton operands at the top level (they
+#: appear only inside S/T sums), so no extra memory is needed; ``S3`` /
+#: ``T3`` land in schedule-specific scratch (level scratch, or the
+#: C11/C12 slots for ``ip_overwrite``).
+FUSED_PACKS_A = (("S1", "+", (1, 0), (1, 1)), ("S3", "-", (0, 0), (1, 0)))
+FUSED_PACKS_B = (("T1", "-", (0, 1), (0, 0)), ("T3", "-", (1, 1), (0, 1)))
+#: The skipped (never-converted) quadrant per operand side, and the
+#: complementary lists a fused conversion does copy.
+FUSED_SKIP_A = (1, 0)
+FUSED_SKIP_B = (0, 1)
+CONVERT_QUADS_A = ((0, 0), (0, 1), (1, 1))
+CONVERT_QUADS_B = ((0, 0), (1, 0), (1, 1))
 
 
 def resolve_memory(memory: "str | None") -> str:
@@ -114,8 +137,19 @@ def winograd_multiply(
     beta: float = 0.0,
     trans_a: bool = False,
     trans_b: bool = False,
+    prepacked: bool = False,
 ) -> MortonMatrix:
     """Compute ``C = alpha . op(A) . op(B) + beta . C`` over Morton operands.
+
+    ``prepacked=True`` declares that the caller already performed the
+    top level's fused convert-and-add packing: ``S3``/``T3`` sit in the
+    outermost level's S/T scratch (the C11/C12 slots for
+    ``ip_overwrite``), and ``S1``/``T1`` occupy the A21/B12 quadrant
+    slots (see :data:`FUSED_PACKS_A`).  The top recursion level then
+    skips its four standalone S1/S3/T1/T3 addition passes and reads the
+    packed buffers instead — every remaining floating-point operation is
+    unchanged, so results are bit-identical to the two-pass path.
+    Requires ``depth >= 1`` and plain (non-relabeled) operands.
 
     With the default spec (``alpha=1, beta=0``, no transposes) ``c``'s
     buffer is overwritten entirely (including its pad).  ``alpha`` is
@@ -159,6 +193,15 @@ def winograd_multiply(
             "fold the transpose into the conversion instead"
         )
     _check_conformable(a, b, c)
+    if prepacked:
+        if a.depth < 1:
+            raise ValueError("prepacked=True needs depth >= 1")
+        if getattr(a, "transposed", False) or getattr(b, "transposed", False):
+            raise ValueError(
+                "prepacked=True cannot consume relabeled (transposed) "
+                "operands: the pack layout lives in the plain Morton "
+                "permutation"
+            )
     if ops is None:
         ops = NumpyOps()
     if memory != "classic" and a.depth > 0 and not hasattr(ops, "add3"):
@@ -192,12 +235,18 @@ def winograd_multiply(
     target = c if beta == 0.0 else _staging_like(c)
 
     if memory == "ip_overwrite":
+        if prepacked and beta != 0.0:
+            raise ValueError(
+                "prepacked=True with beta != 0 is unsupported for "
+                "ip_overwrite: the S3/T3 packs live in C quadrant slots, "
+                "but beta stages the product in a private temporary"
+            )
         if a.depth > 0 and not (a.tile_r == a.tile_c == b.tile_c):
             raise ValueError(
                 "ip_overwrite needs uniform tile geometry (tile_m == tile_k "
                 f"== tile_n); got {a.tile_r}x{a.tile_c} . {b.tile_r}x{b.tile_c}"
             )
-        _recurse_ip(a, b, target, ops, alpha)
+        _recurse_ip(a, b, target, ops, alpha, prepacked=prepacked)
     elif memory == "two_temp":
         if workspace is None:
             workspace = Workspace(
@@ -208,7 +257,8 @@ def winograd_multiply(
                 "winograd_multiply(memory='two_temp') needs a workspace "
                 "built with schedule='two_temp'"
             )
-        _recurse_two_temp(a, b, target, ops, workspace, alpha)
+        _recurse_two_temp(a, b, target, ops, workspace, alpha,
+                          prepacked=prepacked)
     else:
         if workspace is None:
             workspace = Workspace(
@@ -218,7 +268,7 @@ def winograd_multiply(
             raise ValueError(
                 "winograd_multiply needs a workspace built with with_q=True"
             )
-        _recurse(a, b, target, ops, workspace, alpha)
+        _recurse(a, b, target, ops, workspace, alpha, prepacked=prepacked)
 
     if beta != 0.0:
         ops.accumulate(c, target, beta)
@@ -244,6 +294,7 @@ def _recurse(
     ops: WinogradOps,
     ws: Workspace,
     alpha: float = 1.0,
+    prepacked: bool = False,
 ) -> None:
     if a.depth == 0:
         if alpha == 1.0:
@@ -271,14 +322,22 @@ def _recurse(
     # is formed in place in the shared scratch the moment its predecessors
     # are no longer needed — this is the common-subexpression reuse that
     # gives Winograd its 15-addition count.
-    ops.sub(s, a11, a21)            # S3
-    ops.sub(t, b22, b12)            # T3
-    _recurse(s, t, p, ops, ws)      # P  <- P5 = S3.T3
-    ops.add(s, a21, a22)            # S1
-    ops.sub(t, b12, b11)            # T1
-    _recurse(s, t, c22, ops, ws)    # C22 <- P3 = S1.T1
-    ops.sub(s, s, a11)              # S2 = S1 - A11
-    ops.sub(t, b22, t)              # T2 = B22 - T1
+    if prepacked:
+        # Fused packing put S3/T3 in this level's scratch and S1/T1 in
+        # the A21/B12 quadrant slots; only S2/T2 remain to be formed.
+        _recurse(s, t, p, ops, ws)        # P  <- P5 = S3.T3
+        _recurse(a21, b12, c22, ops, ws)  # C22 <- P3 = S1.T1
+        ops.sub(s, a21, a11)              # S2 = S1 - A11
+        ops.sub(t, b22, b12)              # T2 = B22 - T1
+    else:
+        ops.sub(s, a11, a21)            # S3
+        ops.sub(t, b22, b12)            # T3
+        _recurse(s, t, p, ops, ws)      # P  <- P5 = S3.T3
+        ops.add(s, a21, a22)            # S1
+        ops.sub(t, b12, b11)            # T1
+        _recurse(s, t, c22, ops, ws)    # C22 <- P3 = S1.T1
+        ops.sub(s, s, a11)              # S2 = S1 - A11
+        ops.sub(t, b22, t)              # T2 = B22 - T1
     _recurse(s, t, c11, ops, ws)    # C11 <- P4 = S2.T2
     ops.sub(s, a12, s)              # S4 = A12 - S2
     ops.sub(t, b21, t)              # T4 = B21 - T2
@@ -316,6 +375,7 @@ def _recurse_two_temp(
     ops: WinogradOps,
     ws: Workspace,
     alpha: float = 1.0,
+    prepacked: bool = False,
 ) -> None:
     """Boyer et al.'s two-temporary schedule: C quadrants double as scratch.
 
@@ -347,14 +407,22 @@ def _recurse_two_temp(
     if getattr(b, "transposed", False):
         y = relabel_scratch(y)
 
-    ops.sub(x, a11, a21)                     # S3
-    ops.sub(y, b22, b12)                     # T3
-    _recurse_two_temp(x, y, c21, ops, ws)    # C21 <- P5 = S3.T3
-    ops.add(x, a21, a22)                     # S1
-    ops.sub(y, b12, b11)                     # T1
-    _recurse_two_temp(x, y, c22, ops, ws)    # C22 <- P3 = S1.T1
-    ops.sub(x, x, a11)                       # S2 = S1 - A11
-    ops.sub_into(y, b22)                     # T2 = B22 - T1
+    if prepacked:
+        # Fused packing: S3/T3 in X/Y, S1/T1 in the A21/B12 slots (see
+        # _recurse) — only S2/T2 remain, read from the packed slots.
+        _recurse_two_temp(x, y, c21, ops, ws)      # C21 <- P5 = S3.T3
+        _recurse_two_temp(a21, b12, c22, ops, ws)  # C22 <- P3 = S1.T1
+        ops.sub(x, a21, a11)                       # S2 = S1 - A11
+        ops.sub(y, b22, b12)                       # T2 = B22 - T1
+    else:
+        ops.sub(x, a11, a21)                     # S3
+        ops.sub(y, b22, b12)                     # T3
+        _recurse_two_temp(x, y, c21, ops, ws)    # C21 <- P5 = S3.T3
+        ops.add(x, a21, a22)                     # S1
+        ops.sub(y, b12, b11)                     # T1
+        _recurse_two_temp(x, y, c22, ops, ws)    # C22 <- P3 = S1.T1
+        ops.sub(x, x, a11)                       # S2 = S1 - A11
+        ops.sub_into(y, b22)                     # T2 = B22 - T1
     _recurse_two_temp(x, y, c12, ops, ws)    # C12 <- P4 = S2.T2
     ops.sub(x, a12, x)                       # S4 = A12 - S2
     _recurse_two_temp(x, b22, c11, ops, ws)  # C11 <- P6 = S4.B22
@@ -389,6 +457,7 @@ def _recurse_ip(
     c: MortonMatrix,
     ops: WinogradOps,
     alpha: float = 1.0,
+    prepacked: bool = False,
 ) -> None:
     """Fully in-place schedule: zero scratch, A and B quadrants are consumed.
 
@@ -409,15 +478,24 @@ def _recurse_ip(
     b11, b12, b21, b22 = b.quadrants()
     c11, c12, c21, c22 = c.quadrants()
 
-    ops.sub(c11, a11, a21)        # C11 <- S3
-    ops.sub(c12, b22, b12)        # C12 <- T3
-    _recurse_ip(c11, c12, c21, ops)  # C21 <- P5 (consumes S3, T3 copies)
-    ops.add(a21, a21, a22)        # A21 <- S1
-    ops.sub(b12, b12, b11)        # B12 <- T1
-    ops.sub(c12, a21, a11)        # C12 <- S2 = S1 - A11
-    _recurse_ip(a11, b11, c11, ops)  # C11 <- P1 (A11, B11 die)
-    ops.sub(b11, b22, b12)        # B11 <- T2 = B22 - T1
-    _recurse_ip(a21, b12, c22, ops)  # C22 <- P3 (S1, T1 die)
+    if prepacked:
+        # Fused packing: S3/T3 already sit in the C11/C12 slots, S1/T1
+        # in the A21/B12 slots — the four slot-filling passes are gone.
+        _recurse_ip(c11, c12, c21, ops)  # C21 <- P5 (consumes S3, T3)
+        ops.sub(c12, a21, a11)        # C12 <- S2 = S1 - A11
+        _recurse_ip(a11, b11, c11, ops)  # C11 <- P1 (A11, B11 die)
+        ops.sub(b11, b22, b12)        # B11 <- T2 = B22 - T1
+        _recurse_ip(a21, b12, c22, ops)  # C22 <- P3 (S1, T1 die)
+    else:
+        ops.sub(c11, a11, a21)        # C11 <- S3
+        ops.sub(c12, b22, b12)        # C12 <- T3
+        _recurse_ip(c11, c12, c21, ops)  # C21 <- P5 (consumes S3, T3 copies)
+        ops.add(a21, a21, a22)        # A21 <- S1
+        ops.sub(b12, b12, b11)        # B12 <- T1
+        ops.sub(c12, a21, a11)        # C12 <- S2 = S1 - A11
+        _recurse_ip(a11, b11, c11, ops)  # C11 <- P1 (A11, B11 die)
+        ops.sub(b11, b22, b12)        # B11 <- T2 = B22 - T1
+        _recurse_ip(a21, b12, c22, ops)  # C22 <- P3 (S1, T1 die)
     ops.sub(a21, a12, c12)        # A21 <- S4 = A12 - S2
     ops.sub(b12, b21, b11)        # B12 <- T4 = B21 - T2
     _recurse_ip(c12, b11, a11, ops)  # A11 <- P4 (S2, T2 die)

@@ -43,7 +43,14 @@ from ..core.rectangular import plan_panels
 from ..core.scheduler import Schedule, TaskGraph
 from ..core.strassen import strassen_multiply
 from ..core.truncation import TruncationPolicy
-from ..core.winograd import resolve_memory, winograd_multiply
+from ..core.winograd import (
+    CONVERT_QUADS_A,
+    CONVERT_QUADS_B,
+    FUSED_PACKS_A,
+    FUSED_PACKS_B,
+    resolve_memory,
+    winograd_multiply,
+)
 from ..core.workspace import BatchWorkspace, Workspace
 from ..errors import BatchItemError, InvariantError, KernelError, PlanError, ShapeError
 from ..layout.convert import (
@@ -51,8 +58,11 @@ from ..layout.convert import (
     conversion_table,
     dense_to_morton,
     dense_to_morton_batch,
+    dense_to_morton_quadrants,
     morton_to_dense,
     morton_to_dense_batch,
+    pack_morton_quarter,
+    pack_morton_quarter_batch,
 )
 from ..layout.matrix import BatchMortonMatrix, MortonMatrix
 from ..layout.padding import Tiling
@@ -230,6 +240,7 @@ class _ExecExtras:
     __slots__ = (
         "tasks_run", "worker_busy", "graph_wall", "pool_workers",
         "indexed_conversions", "convert_seconds_saved", "fused_adds",
+        "fused_packs",
     )
 
     def __init__(self) -> None:
@@ -240,6 +251,7 @@ class _ExecExtras:
         self.indexed_conversions = 0
         self.convert_seconds_saved = 0.0
         self.fused_adds = 0
+        self.fused_packs = 0
 
 
 class CompiledPlan:
@@ -275,6 +287,10 @@ class CompiledPlan:
         self._graph: TaskGraph | None = None
         self._rezero_operands = False
         self._sites: dict[str, _ConvertSite] = {}
+        self._fused = False
+        self._ftables: dict[str, ConversionTable] = {}
+        self._fdsts: dict[str, np.ndarray] = {}
+        self._pend = None
         self._panels = None
         self._panel_plans = None
         if self.tilings is not None:
@@ -331,6 +347,32 @@ class CompiledPlan:
         )
         depth = tm.depth
         sched = key.schedule
+        # Fused convert-and-add packing: the top level's S1/S3/T1/T3 sums
+        # are produced *during* the dense->Morton gather (one read of each
+        # source quadrant yields both the converted quadrant and the
+        # packed sum), so the recursion skips its four standalone
+        # top-level add passes and one quadrant copy per operand.
+        # Requires the plain Morton permutation (no relabeled transposes
+        # — dense-side transposes fold into the gather as usual) and an
+        # index table per operand.  The gather is elementwise, so fusion
+        # only pays where the table already beats the tile loop — the
+        # same CONVERT_TABLE_MIN_DEPTH regime as the adaptive sites (at
+        # shallow depth the loop's few large contiguous tile copies win
+        # by a wide margin); ``fused_pack="always"`` overrides the depth
+        # threshold for any depth >= 1 (tests, A/B measurement).
+        fmode = getattr(self.session, "fused_pack", True)
+        self._fused = (
+            bool(fmode)
+            and key.variant == "winograd"
+            and depth >= (1 if fmode == "always" else CONVERT_TABLE_MIN_DEPTH)
+            and not self._relabel_a
+            and not self._relabel_b
+            and self._a_mm.rows * self._a_mm.cols <= CONVERT_TABLE_MAX_ELEMS
+            and self._b_mm.rows * self._b_mm.cols <= CONVERT_TABLE_MAX_ELEMS
+        )
+        self._ftables: dict[str, ConversionTable] = {}
+        self._fdsts: dict[str, np.ndarray] = {}
+        self._pend = None  # (a, trans_a, b, trans_b) of the running execute
         if sched.parallel and depth >= 1:
             self._tscratch = TaskScratch(
                 tm.tile, tk.tile, tn.tile, depth,
@@ -343,6 +385,8 @@ class CompiledPlan:
             self._graph = build_winograd_graph(
                 self._a_eff, self._b_eff, self._c_mm, self._tscratch,
                 ops=self._ops, alpha=key.alpha,
+                pack_a=self._graph_pack_a if self._fused else None,
+                pack_b=self._graph_pack_b if self._fused else None,
             )
         elif memory == "two_temp":
             self._workspace = Workspace(
@@ -355,13 +399,105 @@ class CompiledPlan:
             )
             self.buffers_allocated += 4 * depth
         # ip_overwrite: no workspace at all.
+        if self._fused:
+            # Fused conversion always gathers through a table (the shared
+            # module-level cache — several plans of one geometry reuse
+            # it), so the a/b sites skip loop-vs-indexed calibration.
+            for name, mm in (("a", self._a_mm), ("b", self._b_mm)):
+                self._ftables[name] = conversion_table(
+                    mm.rows, mm.cols, mm.tile_r, mm.tile_c, mm.depth
+                )
+            self._fdsts = self._pack_destinations(memory)
         if depth >= CONVERT_TABLE_MIN_DEPTH:
             for name, mm in (("a", self._a_mm), ("b", self._b_mm),
                              ("c", self._c_mm)):
+                if name in self._ftables:
+                    continue
                 if mm.rows * mm.cols <= CONVERT_TABLE_MAX_ELEMS:
                     self._sites[name] = _ConvertSite(ConversionTable(
                         mm.rows, mm.cols, mm.tile_r, mm.tile_c, mm.depth
                     ))
+
+    def _pack_destinations(self, memory: str) -> dict[str, np.ndarray]:
+        """Flat quarter buffers receiving the four top-level packed sums.
+
+        ``S1``/``T1`` land in the A21/B12 quadrant slots of the pooled
+        operand buffers — those quadrants are never consumed as plain
+        Morton operands at the top level, so the slots are free.
+        ``S3``/``T3`` go where the selected schedule's top recursion
+        level reads them: the outermost workspace level's S/T scratch
+        (classic/two_temp), the C11/C12 quadrant slots (ip_overwrite —
+        the product P5 is computed from them before either is
+        overwritten), or the task graph's root ``s[2]``/``t[2]`` buffers.
+        """
+        qa = self._a_mm.size // 4
+        qb = self._b_mm.size // 4
+        dsts = {
+            "S1": self._a_mm.buf[2 * qa : 3 * qa],
+            "T1": self._b_mm.buf[1 * qb : 2 * qb],
+        }
+        if self._tscratch is not None:
+            dsts["S3"] = self._tscratch.root.s[2].buf
+            dsts["T3"] = self._tscratch.root.t[2].buf
+        elif memory == "ip_overwrite":
+            qc = self._c_mm.size // 4
+            dsts["S3"] = self._c_mm.buf[0:qc]
+            dsts["T3"] = self._c_mm.buf[qc : 2 * qc]
+        else:
+            lv = self._workspace.at(self.tilings[0].depth - 1)
+            dsts["S3"] = lv.s.buf
+            dsts["T3"] = lv.t.buf
+        return dsts
+
+    def _fused_convert_side(
+        self, name: str, dense, mm, quads, packs, transpose: bool,
+        extras: "_ExecExtras | None",
+    ) -> None:
+        """Convert one operand's consumed quadrants, then pack its sums."""
+        table = self._ftables[name]
+        tr = self._ops.trace
+        t0 = time.perf_counter()
+        dense_to_morton_quadrants(
+            dense, mm, quads, transpose=transpose, zero_pad=False,
+            table=table,
+        )
+        if tr is not None and tr.enabled:
+            tr.emit(
+                "convert", label=name, seconds=time.perf_counter() - t0,
+                indexed=True, fused=True,
+            )
+        for label, op, q0, q1 in packs:
+            t0 = time.perf_counter()
+            pack_morton_quarter(
+                self._fdsts[label], dense, op, q0, q1, table,
+                transpose=transpose,
+            )
+            if tr is not None and tr.enabled:
+                tr.emit(
+                    "pack", label=label, seconds=time.perf_counter() - t0
+                )
+        if extras is not None:
+            extras.fused_packs += len(packs)
+
+    # The graph's two root tasks (run on pool workers; the per-execute
+    # dense operands are stashed in self._pend under the plan lock, which
+    # is held for the whole execution).  Extras are folded in by the
+    # caller after the graph completes — two concurrent pack tasks must
+    # not race on one counter object.
+
+    def _graph_pack_a(self) -> None:
+        a, trans_a, _, _ = self._pend
+        self._fused_convert_side(
+            "a", a, self._a_mm, CONVERT_QUADS_A, FUSED_PACKS_A, trans_a,
+            None,
+        )
+
+    def _graph_pack_b(self) -> None:
+        _, _, b, trans_b = self._pend
+        self._fused_convert_side(
+            "b", b, self._b_mm, CONVERT_QUADS_B, FUSED_PACKS_B, trans_b,
+            None,
+        )
 
     def _compile_panels(self) -> None:
         key = self.key
@@ -561,45 +697,70 @@ class CompiledPlan:
                 if self._relabel_b:
                     tr.emit("relabel", label="b")
             t0 = time.perf_counter()
-            self._convert_site(
-                "a", extras,
-                lambda: dense_to_morton(
-                    a, self._a_mm, transpose=conv_trans_a, zero_pad=False
-                ),
-                lambda tab: dense_to_morton(
-                    a, self._a_mm, transpose=conv_trans_a, zero_pad=False,
-                    table=tab, pool=pool, workers=workers or 1,
-                ),
-            )
-            self._convert_site(
-                "b", extras,
-                lambda: dense_to_morton(
-                    b, self._b_mm, transpose=conv_trans_b, zero_pad=False
-                ),
-                lambda tab: dense_to_morton(
-                    b, self._b_mm, transpose=conv_trans_b, zero_pad=False,
-                    table=tab, pool=pool, workers=workers or 1,
-                ),
-            )
+            if self._fused and self._graph is not None:
+                # Conversion moves *into* the graph: the two root pack
+                # tasks convert and pack their operand on pool workers,
+                # overlapping the a/b sides (to_morton attributes ~0
+                # here; the work lands in the graph's compute phase).
+                self._pend = (a, conv_trans_a, b, conv_trans_b)
+            elif self._fused:
+                self._fused_convert_side(
+                    "a", a, self._a_mm, CONVERT_QUADS_A, FUSED_PACKS_A,
+                    conv_trans_a, extras,
+                )
+                self._fused_convert_side(
+                    "b", b, self._b_mm, CONVERT_QUADS_B, FUSED_PACKS_B,
+                    conv_trans_b, extras,
+                )
+            else:
+                self._convert_site(
+                    "a", extras,
+                    lambda: dense_to_morton(
+                        a, self._a_mm, transpose=conv_trans_a, zero_pad=False
+                    ),
+                    lambda tab: dense_to_morton(
+                        a, self._a_mm, transpose=conv_trans_a, zero_pad=False,
+                        table=tab, pool=pool, workers=workers or 1,
+                    ),
+                )
+                self._convert_site(
+                    "b", extras,
+                    lambda: dense_to_morton(
+                        b, self._b_mm, transpose=conv_trans_b, zero_pad=False
+                    ),
+                    lambda tab: dense_to_morton(
+                        b, self._b_mm, transpose=conv_trans_b, zero_pad=False,
+                        table=tab, pool=pool, workers=workers or 1,
+                    ),
+                )
             t1 = time.perf_counter()
-            if self._debug:
+            if self._debug and not self._fused:
                 # Phase boundary: operands are converted, compute has not
                 # started.  Both pads must be exactly zero here (the
-                # ip_overwrite re-zero above included).
+                # ip_overwrite re-zero above included).  Fused plans skip
+                # the check: their A21/B12 slots legitimately hold packed
+                # sums whose support extends into the slot's pad region
+                # (exactly the values the two-pass scratch sums held).
                 check_pad_zero(self._a_mm, "a")
                 check_pad_zero(self._b_mm, "b")
             if self._graph is not None:
-                run = pool.run(self._graph)
+                try:
+                    run = pool.run(self._graph)
+                finally:
+                    self._pend = None
                 if extras is not None:
                     extras.tasks_run += run.tasks
                     extras.worker_busy += run.busy
                     extras.graph_wall += run.wall
                     extras.pool_workers = run.workers
+                    if self._fused:
+                        extras.fused_packs += 4
             elif key.variant == "winograd":
                 winograd_multiply(
                     self._a_eff, self._b_eff, self._c_mm,
                     ops=self._ops, workspace=self._workspace,
                     memory=key.memory, alpha=key.alpha,
+                    prepacked=self._fused,
                 )
             else:
                 strassen_multiply(
@@ -866,6 +1027,38 @@ class BatchPlan:
                         mm.rows, mm.cols, mm.tile_r, mm.tile_c, mm.depth
                     )
         self._baseline: dict[str, float] = {}
+        # Fused convert-and-add packing over the batch axis: each row's
+        # top-level S1/S3/T1/T3 sums are scattered during its
+        # dense->Morton gather.  Unlike the per-item path there is no
+        # depth threshold: the batched path already commits statically
+        # to table gathers whenever the recursion has depth (the B-fold
+        # amortisation), so packing three gathered quadrants plus sums
+        # strictly beats gathering four and adding separately.
+        self._fused = (
+            bool(getattr(session, "fused_pack", True))
+            and key.variant == "winograd"
+            and tm.depth >= 1
+            and not self._relabel_a
+            and not self._relabel_b
+            and "a" in self._tables
+            and "b" in self._tables
+        )
+        self._fdsts: dict[str, np.ndarray] = {}
+        if self._fused:
+            qa = self._a.buf.shape[1] // 4
+            qb = self._b.buf.shape[1] // 4
+            lv = self._ws.view(0, cap).at(tm.depth - 1)
+            self._fdsts = {
+                # Row-stacked analogues of CompiledPlan._pack_destinations:
+                # quadrant column slices of the operand stacks for S1/T1,
+                # the outermost batch-workspace level's S/T stacks for
+                # S3/T3 (stripe views slice the same raw arrays, so every
+                # stripe reads its own packed rows).
+                "S1": self._a.buf[:, 2 * qa : 3 * qa],
+                "T1": self._b.buf[:, qb : 2 * qb],
+                "S3": lv.s.buf,
+                "T3": lv.t.buf,
+            }
         # Stripe views are pure geometry; reuse them (and their memoised
         # quadrant/leaf caches) across executions.
         self._stripes: dict = {}
@@ -905,6 +1098,38 @@ class BatchPlan:
             pool=pool, workers=workers,
         )
         return base * len(arrs) - (time.perf_counter() - t0)
+
+    def _fused_convert_in(
+        self, name: str, arrs, out: BatchMortonMatrix, transpose: bool,
+        quads, packs,
+    ) -> None:
+        """Fused fill of ``out[:len(arrs)]``: quadrant gathers plus packs."""
+        table = self._tables[name]
+        tr = self._ops.trace
+        n = len(arrs)
+        t0 = time.perf_counter()
+        for i, arr in enumerate(arrs):
+            dense_to_morton_quadrants(
+                arr, out.item(i), quads, transpose=transpose,
+                zero_pad=False, table=table,
+            )
+        if tr is not None and tr.enabled:
+            tr.emit(
+                "convert", label=f"batch-{name}",
+                seconds=time.perf_counter() - t0, items=n,
+                indexed=True, fused=True,
+            )
+        for label, op, q0, q1 in packs:
+            t0 = time.perf_counter()
+            pack_morton_quarter_batch(
+                self._fdsts[label][:n], arrs, op, q0, q1, table,
+                transpose=transpose,
+            )
+            if tr is not None and tr.enabled:
+                tr.emit(
+                    "pack", label=f"batch-{label}",
+                    seconds=time.perf_counter() - t0, items=n,
+                )
 
     def _convert_out(self, n_items: int, pool, workers: int):
         """Gather the first ``n_items`` products back to dense arrays."""
@@ -950,6 +1175,7 @@ class BatchPlan:
             winograd_multiply(
                 a, b, c, ops=self._ops, workspace=ws,
                 memory=self.key.memory, alpha=self.key.alpha,
+                prepacked=self._fused,
             )
         else:
             strassen_multiply(
@@ -1030,23 +1256,38 @@ class BatchPlan:
                 if self._relabel_b:
                     tr.emit("relabel", label="batch-b", items=n_items)
             t0 = time.perf_counter()
-            saved = self._convert_in(
-                "a", [p.a for p in problems], self._a, transpose_a,
-                pool, workers,
-            )
-            saved += self._convert_in(
-                "b", [p.b for p in problems], self._b, transpose_b,
-                pool, workers,
-            )
+            if self._fused:
+                saved = 0.0
+                self._fused_convert_in(
+                    "a", [p.a for p in problems], self._a, transpose_a,
+                    CONVERT_QUADS_A, FUSED_PACKS_A,
+                )
+                self._fused_convert_in(
+                    "b", [p.b for p in problems], self._b, transpose_b,
+                    CONVERT_QUADS_B, FUSED_PACKS_B,
+                )
+            else:
+                saved = self._convert_in(
+                    "a", [p.a for p in problems], self._a, transpose_a,
+                    pool, workers,
+                )
+                saved += self._convert_in(
+                    "b", [p.b for p in problems], self._b, transpose_b,
+                    pool, workers,
+                )
             t1 = time.perf_counter()
-            if tr is not None and tr.enabled:
+            if not self._fused and tr is not None and tr.enabled:
+                # The fused path emitted per-side convert events above
+                # (gather-only seconds, pack passes reported separately).
                 tr.emit(
                     "convert", label="batch-in", seconds=t1 - t0,
                     items=n_items, indexed=bool(self._tables),
                 )
-            if self._debug:
+            if self._debug and not self._fused:
                 # Phase boundary: every occupied stack row's pad must be
                 # exactly zero before the shared recursion runs over it.
+                # Fused stacks skip the check — the A21/B12 column slots
+                # hold packed sums whose support extends into the pad.
                 for i in range(n_items):
                     check_pad_zero(self._a.item(i), f"a[{indices[i]}]")
                     check_pad_zero(self._b.item(i), f"b[{indices[i]}]")
@@ -1094,7 +1335,8 @@ class BatchPlan:
             timings.compute += rec.compute
             timings.from_morton += rec.from_morton
         self.session._record_batch_execution(
-            self, n_items, rec, saved, fused_delta
+            self, n_items, rec, saved, fused_delta,
+            fused_packs=4 * n_items if self._fused else 0,
         )
         if results is None:
             # beta == 0 epilogue: alpha is already folded into the

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..blas.dgemm import GemmProblem, OpKind
-from ..blas.kernels import LeafKernel, get_kernel
+from ..blas.kernels import LeafKernel, get_kernel, set_accumulate_cap
 from ..core.modgemm import PhaseTimings
 from ..core.ops import NumpyOps
 from ..core.scheduler import Schedule, WorkerPool
@@ -103,6 +103,16 @@ class SessionStats:
     ``ip_overwrite``) and ``batch_convert_seconds_saved`` (layout
     conversion time saved by table-driven batched gather/scatter against
     each batch plan's measured per-item tile-loop baseline).
+
+    The fused packing path adds ``fused_packs`` (quarter-matrix operand
+    sums produced during a dense->Morton gather instead of by a
+    standalone add pass — 4 per fused execution, ``4 x items`` per fused
+    batch), ``convert_seconds`` (wall time spent in the conversion phases
+    — ``timings.to_morton + timings.from_morton``; a fused ``tasks:``
+    plan's operand conversion runs inside its graph and lands in
+    ``compute`` instead) and ``convert_fraction`` (``convert_seconds``
+    over total execute time, in ``[0, 1]`` — the ratio the fused path
+    exists to shrink).
     """
 
     plan_hits: int = 0
@@ -127,6 +137,9 @@ class SessionStats:
     batch_items: int = 0
     batch_fallbacks: int = 0
     batch_convert_seconds_saved: float = 0.0
+    fused_packs: int = 0
+    convert_seconds: float = 0.0
+    convert_fraction: float = 0.0
 
 
 class GemmSession:
@@ -172,6 +185,25 @@ class GemmSession:
         :class:`repro.errors.InvariantError`.  Results are bit-identical
         to a non-debug session; expect a substantial slowdown.  Fixed at
         construction (plans bake the guards in at compile time).
+    fused_pack:
+        ``True`` (default) lets Winograd plans fuse the top level's
+        S1/S3/T1/T3 operand sums into the dense->Morton gather — one
+        read of each source quadrant produces both the converted
+        quadrant and the packed sum, eliding four standalone add passes
+        and one quadrant copy per operand.  Per-item plans fuse where
+        the index-table gather is already the right conversion strategy
+        (``depth >= CONVERT_TABLE_MIN_DEPTH``; at shallower depths the
+        tile loop's large contiguous copies win and fusing would
+        regress); batch plans fuse whenever tables exist (``depth >=
+        1``).  ``"always"`` drops the per-item depth threshold to 1
+        (tests, A/B measurement); ``False`` disables fusion entirely.
+        Results are bit-identical in all modes.  Fixed at construction
+        (plans bake the fused layout in at compile time).
+    accumulate_cap:
+        When given, sets the leaf kernels' cached accumulate-scratch cap
+        (:func:`repro.blas.set_accumulate_cap`) at construction.  The cap
+        is **process-global** (the scratch is shared by every session);
+        it is exposed here so serving configurations live in one place.
     """
 
     def __init__(
@@ -187,6 +219,8 @@ class GemmSession:
         trace: bool = False,
         trace_capacity: int = 8192,
         debug: bool = False,
+        fused_pack: bool = True,
+        accumulate_cap: int | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -195,6 +229,14 @@ class GemmSession:
         self.capacity = capacity
         self.trace = Tracer(capacity=trace_capacity, enabled=bool(trace))
         self.debug = bool(debug)
+        if fused_pack not in (True, False, "always"):
+            raise ValueError(
+                f"fused_pack must be True, False or 'always', "
+                f"got {fused_pack!r}"
+            )
+        self.fused_pack = fused_pack
+        if accumulate_cap is not None:
+            set_accumulate_cap(accumulate_cap)
         self.default_policy = TruncationPolicy.coerce(policy)
         self.default_kernel = get_kernel(kernel)
         self.default_variant = resolve_variant(variant)
@@ -232,6 +274,7 @@ class GemmSession:
         self._batch_items = 0
         self._batch_fallbacks = 0
         self._batch_convert_saved = 0.0
+        self._fused_packs = 0
         # (shape, dtype) -> free F-order buffers for evaluate() intermediates.
         self._expr_pool: dict = {}
 
@@ -911,10 +954,11 @@ class GemmSession:
                 self._indexed_conversions += extras.indexed_conversions
                 self._convert_saved += extras.convert_seconds_saved
                 self._fused_adds += extras.fused_adds
+                self._fused_packs += extras.fused_packs
 
     def _record_batch_execution(
         self, plan: BatchPlan, n_items: int, rec: PhaseTimings,
-        saved: float, fused_adds: int,
+        saved: float, fused_adds: int, fused_packs: int = 0,
     ) -> None:
         """Fold one stacked-batch execution into the session counters."""
         tr = self.trace
@@ -936,6 +980,7 @@ class GemmSession:
             self._timings.compute += rec.compute
             self._timings.from_morton += rec.from_morton
             self._fused_adds += fused_adds
+            self._fused_packs += fused_packs
 
     def stats(self) -> SessionStats:
         """A consistent snapshot of the instrumentation counters."""
@@ -956,6 +1001,11 @@ class GemmSession:
                 min(1.0, self._worker_busy / self._worker_capacity)
                 if self._worker_capacity > 0
                 else 0.0
+            )
+            convert_seconds = agg.to_morton + agg.from_morton
+            total_seconds = convert_seconds + agg.compute
+            convert_fraction = (
+                convert_seconds / total_seconds if total_seconds > 0 else 0.0
             )
             return SessionStats(
                 plan_hits=self._hits,
@@ -980,6 +1030,9 @@ class GemmSession:
                 batch_items=self._batch_items,
                 batch_fallbacks=self._batch_fallbacks,
                 batch_convert_seconds_saved=self._batch_convert_saved,
+                fused_packs=self._fused_packs,
+                convert_seconds=convert_seconds,
+                convert_fraction=convert_fraction,
             )
 
     def clear(self) -> None:

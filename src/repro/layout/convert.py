@@ -40,6 +40,9 @@ __all__ = [
     "morton_to_dense",
     "dense_to_morton_batch",
     "morton_to_dense_batch",
+    "dense_to_morton_quadrants",
+    "pack_morton_quarter",
+    "pack_morton_quarter_batch",
     "ConversionTable",
     "conversion_table",
 ]
@@ -70,14 +73,86 @@ class ConversionTable:
         self.flat_c = offs.reshape(-1)  # row-major pairing (view)
         self.flat_f = np.ascontiguousarray(offs.T).reshape(-1)
         self.flat_f.setflags(write=False)
+        self._quad: np.ndarray | None = None
+        self._qpairs: dict = {}
+
     @property
     def padded_size(self) -> int:
         """Flat Morton-buffer length of this geometry (pads included)."""
         return (self.tile_r << self.depth) * (self.tile_c << self.depth)
 
     @property
+    def quad_offsets(self) -> np.ndarray:
+        """Morton offsets of one quadrant's *relative* element grid.
+
+        A quadrant of a depth-``d`` Morton matrix is a contiguous quarter
+        of the buffer holding the same recursive layout one level down, so
+        the within-quadrant offset of relative element ``(i, j)`` is the
+        depth ``d - 1`` Morton offset — identical for all four quadrants.
+        One ``(padded_rows/2, padded_cols/2)`` table therefore serves
+        every quadrant destination of the fused packing path.  Built
+        lazily (only fused plans pay for it) and cached; requires
+        ``depth >= 1``.
+        """
+        if self.depth < 1:
+            raise ValueError("quad_offsets needs depth >= 1")
+        quad = self._quad
+        if quad is None:
+            h2 = (self.tile_r << self.depth) >> 1
+            w2 = (self.tile_c << self.depth) >> 1
+            ii = np.arange(h2, dtype=np.int64)[:, None]
+            jj = np.arange(w2, dtype=np.int64)[None, :]
+            quad = element_offsets(ii, jj, self.tile_r, self.tile_c,
+                                   self.depth - 1)
+            quad.setflags(write=False)
+            self._quad = quad
+        return quad
+
+    def quarter_pairs(self, quad, order: str):
+        """Paired flat (Morton, source) indices of one quadrant's elements.
+
+        ``buf[morton_idx] = flat_src[src_idx]`` scatters the logical
+        elements of quadrant ``quad`` from a flattened dense source —
+        ``src.reshape(-1)`` for ``order="C"``, ``src.T.reshape(-1)`` for
+        ``order="F"`` — into their Morton positions.  Lets the fused
+        packing path convert the one quadrant left over after its
+        contiguous-half scatter with two 1-D fancy operations instead of
+        a strided 2-D one.  Built lazily per ``(quad, order)`` and
+        cached; empty arrays for a fully-padded quadrant.
+        """
+        key = (tuple(quad), order)
+        pairs = self._qpairs.get(key)
+        if pairs is None:
+            qr, qc = quad
+            h2 = (self.tile_r << self.depth) >> 1
+            w2 = (self.tile_c << self.depth) >> 1
+            r0, c0 = qr * h2, qc * w2
+            h = min(max(self.rows - r0, 0), h2)
+            w = min(max(self.cols - c0, 0), w2)
+            offs = self.offsets[r0 : r0 + h, c0 : c0 + w]
+            ii = np.arange(r0, r0 + h, dtype=np.int64)[:, None]
+            jj = np.arange(c0, c0 + w, dtype=np.int64)[None, :]
+            src_pos = ii * self.cols + jj if order == "C" \
+                else jj * self.rows + ii
+            if order == "F":
+                offs, src_pos = offs.T, src_pos.T
+            idx_m = np.ascontiguousarray(offs).reshape(-1)
+            idx_s = np.ascontiguousarray(src_pos).reshape(-1)
+            idx_m.setflags(write=False)
+            idx_s.setflags(write=False)
+            pairs = (idx_m, idx_s)
+            self._qpairs[key] = pairs
+        return pairs
+
+    @property
     def nbytes(self) -> int:
-        return self.offsets.nbytes + self.flat_f.nbytes
+        quad = self._quad
+        return (
+            self.offsets.nbytes
+            + self.flat_f.nbytes
+            + (0 if quad is None else quad.nbytes)
+            + sum(m.nbytes + s.nbytes for m, s in self._qpairs.values())
+        )
 
     def chunks(self, n: int) -> list[slice]:
         """Split the element range into ``n`` roughly equal slices."""
@@ -383,3 +458,178 @@ def morton_to_dense_batch(
     else:
         convert_range(0, n_items)
     return outs
+
+
+# ------------------------------------------------------- fused packing
+
+_ALL_QUADS = {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+def _quad_extent(table: ConversionTable, qr: int, qc: int):
+    """Padded half-dims and the quadrant's logical extent (may be 0)."""
+    h2 = (table.tile_r << table.depth) >> 1
+    w2 = (table.tile_c << table.depth) >> 1
+    h = min(max(table.rows - qr * h2, 0), h2)
+    w = min(max(table.cols - qc * w2, 0), w2)
+    return h2, w2, h, w
+
+
+def _check_fused_geometry(a: np.ndarray, out_shape, table: ConversionTable,
+                          geo, transpose: bool) -> np.ndarray:
+    if a.ndim != 2:
+        raise ValueError(f"expected 2-D input, got ndim={a.ndim}")
+    src = a.T if transpose else a
+    if src.shape != out_shape:
+        raise ValueError(f"op(a) shape {src.shape} != destination {out_shape}")
+    if (table.rows, table.cols) != out_shape or (
+        table.tile_r, table.tile_c, table.depth
+    ) != geo:
+        raise ValueError(f"{table!r} does not describe the destination")
+    if table.depth < 1:
+        raise ValueError("fused packing needs depth >= 1")
+    return src
+
+
+def dense_to_morton_quadrants(
+    a: np.ndarray, out: MortonMatrix, quads, transpose: bool = False,
+    zero_pad: bool = True, table: ConversionTable | None = None,
+) -> MortonMatrix:
+    """Convert only the listed quadrants of ``op(a)`` into ``out``.
+
+    The fused packing path's partner to :func:`dense_to_morton`: the
+    quadrants an execution actually consumes as plain Morton operands are
+    scattered here, while the remaining quadrant's buffer slot receives a
+    packed operand sum (:func:`pack_morton_quarter`) instead of a copy —
+    the reason the fused path converts one quarter less per operand.
+    ``quads`` is an iterable of ``(qr, qc)`` quadrant coordinates; each
+    converted quadrant's buffer slot is written exactly as
+    :func:`dense_to_morton` would have written it (same elements, same
+    zero pads — a pure copy either way, so results are bit-identical).
+    Requires a ``table`` describing ``out``.
+    """
+    a = np.asarray(a, dtype=out.buf.dtype)
+    if table is None:
+        raise ValueError("dense_to_morton_quadrants requires a table")
+    geo = (out.tile_r, out.tile_c, out.depth)
+    src = _check_fused_geometry(a, out.shape, table, geo, transpose)
+    rows, cols = out.rows, out.cols
+    quarter = out.size // 4
+    buf = out.buf
+    quads = tuple(quads)
+    if zero_pad:
+        for qr, qc in quads:
+            h2, w2, h, w = _quad_extent(table, qr, qc)
+            if h < h2 or w < w2:
+                z = (qr << 1) | qc
+                buf[z * quarter : (z + 1) * quarter] = 0.0
+
+    skip = _ALL_QUADS - set(quads)
+    if len(quads) == 3 and len(skip) == 1 and (
+        src.flags.c_contiguous or src.flags.f_contiguous
+    ):
+        # Fast path for the fused-packing shape (all quadrants but one):
+        # the included region is one contiguous half of the source — the
+        # row half (C order) or column half (F order) not containing the
+        # skipped quadrant — plus one quadrant.  The half scatters
+        # through a contiguous slice of the full flat pairing at the
+        # same per-element cost as a whole-matrix indexed conversion;
+        # the leftover quadrant uses its cached index pairs.
+        (sr, sc), = skip
+        if src.flags.c_contiguous:
+            flat_idx, flat_src = table.flat_c, src.reshape(-1)
+            hh = min((table.tile_r << table.depth) >> 1, rows)
+            sl = (slice(0, hh * cols) if sr == 1
+                  else slice(hh * cols, rows * cols))
+            rem = (sr, 1 - sc)
+        else:
+            flat_idx, flat_src = table.flat_f, src.T.reshape(-1)
+            ww = min((table.tile_c << table.depth) >> 1, cols)
+            sl = (slice(0, ww * rows) if sc == 1
+                  else slice(ww * rows, rows * cols))
+            rem = (1 - sr, sc)
+        buf[flat_idx[sl]] = flat_src[sl]
+        order = "C" if src.flags.c_contiguous else "F"
+        idx_m, idx_s = table.quarter_pairs(rem, order)
+        if idx_m.size:
+            buf[idx_m] = flat_src[idx_s]
+        return out
+
+    for qr, qc in quads:
+        h2, w2, h, w = _quad_extent(table, qr, qc)
+        if h and w:
+            r0, c0 = qr * h2, qc * w2
+            buf[table.offsets[r0 : r0 + h, c0 : c0 + w]] = (
+                src[r0 : r0 + h, c0 : c0 + w]
+            )
+    return out
+
+
+def pack_morton_quarter(
+    dst: np.ndarray, a: np.ndarray, op: str, quad0, quad1,
+    table: ConversionTable, transpose: bool = False,
+) -> None:
+    """Fused convert-and-add: scatter ``Q0 <op> Q1`` into a quarter buffer.
+
+    ``Q0``/``Q1`` are quadrants (``(qr, qc)`` coordinates) of the *dense*
+    operand ``op(a)``; ``dst`` is a flat Morton quarter buffer (an operand
+    quadrant slot or one level of recursion scratch).  One read of each
+    source quadrant produces the Winograd operand sum directly in Morton
+    order — the separate full-size add pass over already-converted
+    quadrants disappears.
+
+    Bit-identity with the two-pass path is maintained region by region:
+    where both quadrants have logical elements the scatter stores
+    ``np.add``/``np.subtract`` of the same two values the two-pass ufunc
+    saw; where exactly one side is pad the literal ``x + 0.0`` /
+    ``0.0 - x`` is computed (matching IEEE-754 signed-zero behaviour of
+    adding a zeroed pad); where both are pad the destination holds the
+    ``+0.0`` that ``0 +/- 0`` produces.
+    """
+    a = np.asarray(a, dtype=dst.dtype)
+    geo = (table.tile_r, table.tile_c, table.depth)
+    src = _check_fused_geometry(a, (table.rows, table.cols), table, geo,
+                                transpose)
+    ufunc = np.add if op == "+" else np.subtract
+    quad = table.quad_offsets
+    (qr0, qc0), (qr1, qc1) = quad0, quad1
+    h2, w2, h0, w0 = _quad_extent(table, qr0, qc0)
+    _, _, h1, w1 = _quad_extent(table, qr1, qc1)
+    s0 = src[qr0 * h2 : qr0 * h2 + h0, qc0 * w2 : qc0 * w2 + w0]
+    s1 = src[qr1 * h2 : qr1 * h2 + h1, qc1 * w2 : qc1 * w2 + w1]
+    hc, wc = min(h0, h1), min(w0, w1)
+    dst[:] = 0.0
+    if hc and wc:
+        dst[quad[:hc, :wc]] = ufunc(s0[:hc, :wc], s1[:hc, :wc])
+
+    # The two quadrants' logical regions share the (hc, wc) core; each
+    # remainder (disjoint from the other's) pairs with the other side's
+    # zeroed pad.
+    def remainder(s, h, w, left):
+        if h and w > wc:
+            part = s[:, wc:w]
+            dst[quad[:h, wc:w]] = (
+                ufunc(part, 0.0) if left else ufunc(0.0, part)
+            )
+        if wc and h > hc:
+            part = s[hc:h, :wc]
+            dst[quad[hc:h, :wc]] = (
+                ufunc(part, 0.0) if left else ufunc(0.0, part)
+            )
+
+    remainder(s0, h0, w0, True)
+    remainder(s1, h1, w1, False)
+
+
+def pack_morton_quarter_batch(
+    dst: np.ndarray, arrs, op: str, quad0, quad1,
+    table: ConversionTable, transpose: bool = False,
+) -> None:
+    """Per-item :func:`pack_morton_quarter` over rows of a quarter stack.
+
+    ``dst`` is a 2-D ``(cap, quarter)`` stack — an operand-stack quadrant
+    column slice or one level of batch workspace scratch; row ``i``
+    receives item ``i``'s packed quarter through the shared table.
+    """
+    for i, a in enumerate(arrs):
+        pack_morton_quarter(dst[i], a, op, quad0, quad1, table,
+                            transpose=transpose)

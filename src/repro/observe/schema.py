@@ -44,6 +44,7 @@ EVENT_KINDS = (
     "cancel",         # a queued task graph was cancelled (pool shutdown)
     "accumulate",     # a beta-scaled fold of a product into a live C
     "relabel",        # a transpose served by Morton quadrant relabeling
+    "pack",           # a fused convert-and-add packing pass (additive, v1)
 )
 
 #: JSON Schema (draft-07 subset) for trace-document version 1.

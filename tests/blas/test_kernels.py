@@ -91,8 +91,7 @@ class TestAccumulateScratchBound:
         # End-to-end through the numpy kernel's accumulate path.
         from repro.blas import kernels
 
-        orig = kernels._ACC_SCRATCH_MAX_ELEMS
-        kernels._ACC_SCRATCH_MAX_ELEMS = 16  # force the transient path
+        orig = kernels.set_accumulate_cap(16)  # force the transient path
         try:
             a = rng.standard_normal((8, 8))
             b = rng.standard_normal((8, 8))
@@ -100,7 +99,7 @@ class TestAccumulateScratchBound:
             leaf_matmul(a, b, out, accumulate=True)
             assert np.allclose(out, 1.0 + a @ b)
         finally:
-            kernels._ACC_SCRATCH_MAX_ELEMS = orig
+            kernels.set_accumulate_cap(orig)
 
 
 class TestBlocking:
@@ -116,7 +115,7 @@ class TestBlocking:
 
 class TestRegistry:
     def test_names(self):
-        assert set(KERNELS) == {"numpy", "blocked", "naive"}
+        assert {"numpy", "blocked", "naive", "mixed", "numba"} <= set(KERNELS)
 
     def test_get_by_name(self):
         assert get_kernel("numpy") is leaf_matmul
