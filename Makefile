@@ -8,7 +8,7 @@ PYTHON ?= python
 TIMEOUT_FLAGS := $(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null \
 	&& echo "--timeout=120 --timeout-method=thread")
 
-.PHONY: install test lint bench bench-smoke trace-demo figures quick-figures clean
+.PHONY: install test lint bench bench-smoke tune-smoke trace-demo figures quick-figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,10 +23,11 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Tiny-size run of the scheduler/conversion scaling, memory-schedule,
-# stacked-batch and GEMM-semantics benchmarks, then schema + guard checks
-# of the JSON reports they emit (BENCH_parallel.json, BENCH_memory.json,
-# BENCH_batch.json, BENCH_semantics.json).
-bench-smoke:
+# stacked-batch, GEMM-semantics and plan-store/autotune benchmarks, then
+# schema + guard checks of the JSON reports they emit
+# (BENCH_parallel.json, BENCH_memory.json, BENCH_batch.json,
+# BENCH_semantics.json, BENCH_convert.json, BENCH_tune.json).
+bench-smoke: tune-smoke
 	PYTHONPATH=src BENCH_PARALLEL_QUICK=1 $(PYTHON) -m pytest \
 		benchmarks/test_bench_parallel.py -q
 	$(PYTHON) benchmarks/validate_bench_parallel.py
@@ -42,6 +43,14 @@ bench-smoke:
 	PYTHONPATH=src BENCH_CONVERT_QUICK=1 $(PYTHON) -m pytest \
 		benchmarks/test_bench_convert.py -q
 	$(PYTHON) benchmarks/validate_bench_convert.py
+
+# Tiny-shape autotune against a temp plan store, then schema + guard
+# checks of BENCH_tune.json (warm store skips calibration; tuned plan
+# never >2% slower than the heuristic default and bit-identical to it).
+tune-smoke:
+	PYTHONPATH=src BENCH_TUNE_QUICK=1 $(PYTHON) -m pytest \
+		benchmarks/test_bench_tune.py -q
+	$(PYTHON) benchmarks/validate_bench_tune.py
 
 # Traced 513x513 multiply end to end; validates the dumped trace
 # document against TRACE_SCHEMA and prints a per-worker summary.

@@ -56,6 +56,7 @@ from .engine import (
     default_session,
     reset_default_session,
 )
+from .tune import PlanStore, StoredDecision, autotune
 
 __version__ = "1.1.0"
 
@@ -90,5 +91,8 @@ __all__ = [
     "Tracer",
     "TraceEvent",
     "validate_trace",
+    "PlanStore",
+    "StoredDecision",
+    "autotune",
     "__version__",
 ]

@@ -37,6 +37,7 @@ from .machines import (
 )
 from .timemodel import TimingModel
 from .classify import MissClasses, RegionMap, classify_misses, stack_distances
+from .rank import RankedCandidate, model_tilings, rank_tilings, simulate_tilings
 
 __all__ = [
     "CacheConfig",
@@ -60,4 +61,8 @@ __all__ = [
     "RegionMap",
     "classify_misses",
     "stack_distances",
+    "RankedCandidate",
+    "model_tilings",
+    "rank_tilings",
+    "simulate_tilings",
 ]

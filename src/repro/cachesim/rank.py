@@ -1,0 +1,232 @@
+"""Candidate-ranking front-end: machine models in service of the tuner.
+
+The autotuner (:mod:`repro.tune`) enumerates truncation-point candidates
+``(T, d)`` per GEMM shape and needs to discard the clearly-bad ones
+*offline* — before spending host wall-clock timing them.  This module
+prices each candidate through the existing :mod:`repro.cachesim`
+machinery two ways:
+
+* :func:`model_tilings` — a closed-form first-order estimate: exact flop
+  counts (:mod:`repro.analysis.flops`) plus cache-miss counts from the
+  cache-oblivious recurrence ``Q(p) = 7 Q(p/2) + Θ(p²/B)`` with base case
+  "footprint fits the cache level" (Abu Salem & Al Arab's bound for
+  Strassen-like recursions, PAPERS.md), fed to the machine's linear
+  :class:`~repro.cachesim.timemodel.TimingModel`.  Milliseconds to
+  evaluate, any problem size.
+* :func:`simulate_tilings` — the exact route: replay the candidate's full
+  address trace (:func:`repro.cachesim.tracegen.modgemm_trace`) through
+  the machine's simulated hierarchy.  Faithful but costs seconds per
+  candidate, so the tuner reserves it for small shapes.
+
+Absolute seconds from either route are *not* performance claims (the
+machine models are 1998 platforms); only the **ordering** of candidates
+is consumed, and :func:`rank_tilings` makes even that ordering advisory:
+it never drops the engine's own default choice, and it keeps every
+candidate within ``keep_ratio`` of the modelled best — the final decision
+belongs to on-host timing.  The model prices flops and locality, which
+is exactly what distinguishes ``(T, d)`` choices; candidates differing
+only in schedule or kernel are indistinguishable to it and must be
+separated by the host-timing stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.flops import (
+    leaf_mult_count,
+    winograd_add_count,
+    winograd_flops,
+)
+from ..layout.padding import Tiling
+from .hierarchy import CacheHierarchy
+from .machines import MACHINES, SUN_ULTRA60, Machine
+from .timemodel import ModelledRun, TimingModel
+from .trace import SimulatorSink
+
+__all__ = [
+    "RankedCandidate",
+    "model_tilings",
+    "simulate_tilings",
+    "rank_tilings",
+    "resolve_machine",
+]
+
+
+def resolve_machine(machine: "Machine | str | None") -> Machine:
+    """Accept a :class:`Machine`, a ``MACHINES`` key, or ``None`` (ultra)."""
+    if machine is None:
+        return SUN_ULTRA60
+    if isinstance(machine, Machine):
+        return machine
+    try:
+        return MACHINES[machine]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine {machine!r}; expected one of "
+            f"{sorted(MACHINES)} or a Machine instance"
+        ) from None
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """One candidate tiling with its modelled cost and survival verdict."""
+
+    tilings: "tuple[Tiling, Tiling, Tiling]"
+    run: ModelledRun
+    kept: bool
+    is_default: bool = False
+
+
+def _level_misses(
+    pm: int, pk: int, pn: int, depth: int,
+    cap_elems: int, block_elems: int,
+) -> int:
+    """Cache-oblivious miss estimate of one Winograd recursion at one level.
+
+    ``Q(m,k,n) = 7·Q(m/2,k/2,n/2) + (add-pass streaming misses)`` until the
+    subproblem footprint (three operands) fits in ``cap_elems``; a fitting
+    subproblem pays only its compulsory footprint misses.  A depth-0 leaf
+    whose footprint does *not* fit pays the conventional kernel's
+    column-sweep misses — the jki loop re-reads all of A once per output
+    column and revisits B/C columns beyond any reuse window, which is
+    exactly the penalty that makes a too-early truncation point lose.
+    """
+
+    def stream(elems: int) -> int:
+        return -(-elems // block_elems)
+
+    def q(m: int, k: int, n: int, d: int) -> int:
+        footprint = m * k + k * n + m * n
+        if footprint <= cap_elems:
+            return stream(m * k) + stream(k * n) + stream(m * n)
+        if d == 0:
+            # Conventional jki product over a working set the cache
+            # cannot hold: A streams once per output column, B streams
+            # once, C's columns stay resident per-j but are written back.
+            return n * stream(m * k) + stream(k * n) + 2 * stream(m * n)
+        m2, k2, n2 = m // 2, k // 2, n // 2
+        # The level's 15 quarter-size addition passes stream 3 operands
+        # each (two reads, one write) with no modelled reuse.
+        add_elems = 3 * (4 * m2 * k2 + 4 * k2 * n2 + 7 * m2 * n2)
+        return 7 * q(m2, k2, n2, d - 1) + stream(add_elems)
+
+    return q(pm, pk, pn, depth)
+
+
+def model_tilings(
+    tilings: "tuple[Tiling, Tiling, Tiling]",
+    machine: "Machine | str | None" = None,
+    include_conversion: bool = True,
+    elem_bytes: int = 8,
+) -> ModelledRun:
+    """First-order modelled run of one planned Winograd GEMM.
+
+    Flops are exact (:func:`repro.analysis.flops.winograd_flops` over the
+    padded problem).  Accesses count the conversion passes (read + write
+    of each operand footprint), the addition passes (3 references per
+    added element) and the leaf products (4 references per multiply-add
+    pair under the jki model's register-carried accumulation).  Misses
+    come from :func:`_level_misses` per cache level.  Use the result for
+    *ranking* same-shape candidates only.
+    """
+    machine = resolve_machine(machine)
+    tm, tk, tn = tilings
+    pm, pk, pn = tm.padded, tk.padded, tn.padded
+    depth = tm.depth
+    flops = winograd_flops(tilings)
+
+    add_elems = winograd_add_count(depth, pm, pk, pn)
+    leaf_flops = leaf_mult_count(depth) * 2 * tm.tile * tk.tile * tn.tile
+    accesses = 3 * add_elems + 2 * leaf_flops
+    conv_elems = 0
+    if include_conversion:
+        conv_elems = pm * pk + pk * pn + pm * pn
+        accesses += 2 * conv_elems
+
+    misses = []
+    for level in machine.levels:
+        cap_elems = max(1, level.size_bytes // elem_bytes)
+        block_elems = max(1, level.block_bytes // elem_bytes)
+        m = _level_misses(pm, pk, pn, depth, cap_elems, block_elems)
+        if include_conversion:
+            # Conversion streams each footprint twice (dense side and
+            # Morton side); misses are the streamed blocks.
+            m += -(-2 * conv_elems // block_elems)
+        misses.append(m)
+    return TimingModel(machine).evaluate(flops, accesses, misses)
+
+
+def simulate_tilings(
+    tilings: "tuple[Tiling, Tiling, Tiling]",
+    machine: "Machine | str | None" = None,
+    include_conversion: bool = True,
+    variant: str = "winograd",
+) -> ModelledRun:
+    """Exact modelled run: full address trace through the simulated caches.
+
+    Orders of magnitude slower than :func:`model_tilings` (the trace has
+    one entry per element reference) — reserve for small problems or
+    final-candidate verification.  Classic-memory sequential execution is
+    what the trace generator replays.
+    """
+    from .tracegen import modgemm_trace
+
+    machine = resolve_machine(machine)
+    hierarchy = CacheHierarchy(list(machine.levels))
+    ops = modgemm_trace(
+        tilings,
+        SimulatorSink(hierarchy),
+        include_conversion=include_conversion,
+        variant=variant,
+    )
+    return TimingModel(machine).run_trace(ops.flops, ops.accesses, hierarchy)
+
+
+def rank_tilings(
+    candidates,
+    machine: "Machine | str | None" = None,
+    keep_ratio: float = 1.5,
+    max_keep: int = 8,
+    default_index: int | None = None,
+    include_conversion: bool = True,
+) -> list[RankedCandidate]:
+    """Model and prune a candidate list; cheapest-first, verdicts attached.
+
+    Every candidate is priced with :func:`model_tilings`; survivors are
+    those within ``keep_ratio`` of the modelled best, capped at
+    ``max_keep`` (cheapest win the cap).  The candidate at
+    ``default_index`` (the engine's heuristic choice) is **always** kept
+    — pruning exists to save host timing, never to beat the default by
+    fiat.  Returns one :class:`RankedCandidate` per input, sorted by
+    modelled seconds.
+    """
+    if keep_ratio < 1.0:
+        raise ValueError(f"keep_ratio must be >= 1.0, got {keep_ratio}")
+    if max_keep < 1:
+        raise ValueError(f"max_keep must be >= 1, got {max_keep}")
+    candidates = list(candidates)
+    if not candidates:
+        return []
+    runs = [
+        model_tilings(t, machine, include_conversion=include_conversion)
+        for t in candidates
+    ]
+    order = sorted(range(len(candidates)), key=lambda i: runs[i].seconds)
+    best = runs[order[0]].seconds
+    ranked = []
+    kept = 0
+    for pos, i in enumerate(order):
+        is_default = default_index is not None and i == default_index
+        keep = (
+            runs[i].seconds <= best * keep_ratio and kept < max_keep
+        ) or is_default
+        if keep:
+            kept += 1
+        ranked.append(
+            RankedCandidate(
+                tilings=candidates[i], run=runs[i],
+                kept=keep, is_default=is_default,
+            )
+        )
+    return ranked

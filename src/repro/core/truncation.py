@@ -38,6 +38,11 @@ class TruncationPolicy:
     fixed_tile: int | None
     label: str
     cache_bytes: int | None = None
+    #: A pre-selected tiling pinned to specific GEMM dimensions (the plan
+    #: store's decision replay).  When the planned dims match, ``plan``
+    #: returns these tilings without searching; otherwise the policy falls
+    #: back to its dynamic range like any other dynamic policy.
+    pinned: tuple[Tiling, Tiling, Tiling] | None = None
 
     @classmethod
     def dynamic(cls, min_tile: int = 16, max_tile: int = 64) -> "TruncationPolicy":
@@ -65,6 +70,44 @@ class TruncationPolicy:
             fixed_tile=None,
             label=f"conflict-aware[{min_tile},{max_tile};{cache_bytes}B]",
             cache_bytes=cache_bytes,
+        )
+
+    @classmethod
+    def pinned_tiling(
+        cls,
+        m: int,
+        k: int,
+        n: int,
+        tiles: tuple[int, int, int],
+        depth: int,
+        min_tile: int = 16,
+        max_tile: int = 64,
+    ) -> "TruncationPolicy":
+        """A policy that replays a known-good (T, d) for specific dims.
+
+        This is how a plan-store decision re-enters the planner: the
+        stored per-dimension tiles and common depth are returned verbatim
+        when :meth:`plan` is asked about exactly ``(m, k, n)``.  Any
+        *other* dims (the policy object leaking onto a different call
+        site) fall back to dynamic selection over ``min_tile..max_tile``
+        rather than mis-applying the pin.
+        """
+        if depth < 0:
+            raise PlanError(f"pinned depth must be >= 0, got {depth}")
+        if len(tiles) != 3 or min(tiles) < 1:
+            raise PlanError(f"pinned tiles must be 3 positive ints, got {tiles}")
+        pinned = tuple(
+            Tiling(n=dim, tile=tile, depth=depth)
+            for dim, tile in zip((m, k, n), tiles)
+        )
+        return cls(
+            tile_range=TileRange(min_tile, max_tile),
+            fixed_tile=None,
+            label=(
+                f"pinned[{m}x{k}x{n};"
+                f"T={tiles[0]},{tiles[1]},{tiles[2]};d={depth}]"
+            ),
+            pinned=pinned,  # type: ignore[arg-type]
         )
 
     @classmethod
@@ -121,6 +164,8 @@ class TruncationPolicy:
         to its tile; a dynamic policy to the top of its tile range (64 for
         the paper's 16..64, matching the baselines' published value).
         """
+        if self.pinned is not None:
+            return max(t.tile for t in self.pinned)
         if self.fixed_tile is not None:
             return self.fixed_tile
         assert self.tile_range is not None
@@ -140,6 +185,10 @@ class TruncationPolicy:
         """
         if min(m, k, n) < 1:
             raise PlanError(f"GEMM dimensions must be >= 1, got {(m, k, n)}")
+        if self.pinned is not None and (m, k, n) == tuple(
+            t.n for t in self.pinned
+        ):
+            return self.pinned
         if self.tile_range is not None:
             return select_common_tiling(
                 (m, k, n), self.tile_range, cache_bytes=self.cache_bytes

@@ -55,6 +55,7 @@ from ..core.workspace import BatchWorkspace, Workspace
 from ..errors import BatchItemError, InvariantError, KernelError, PlanError, ShapeError
 from ..layout.convert import (
     ConversionTable,
+    calibration_key,
     conversion_table,
     dense_to_morton,
     dense_to_morton_batch,
@@ -203,14 +204,27 @@ class _ConvertSite:
     serves every later execution.  ``observe`` returns the seconds saved
     relative to the baseline whenever the indexed path ran (negative if
     a run regressed — the counters stay honest).
+
+    A site can also be *preseeded* from a plan store: constructing it
+    with ``mode="indexed"`` replays a persisted decision with no trial
+    executions at all, and ``on_decide`` (when a live calibration does
+    run) reports the final verdict so the store can persist it for the
+    next plan/session with this geometry.
     """
 
-    __slots__ = ("table", "baseline", "mode")
+    __slots__ = ("table", "baseline", "mode", "on_decide")
 
-    def __init__(self, table: ConversionTable) -> None:
+    def __init__(
+        self,
+        table: ConversionTable,
+        mode: str = "baseline",
+        baseline: float = 0.0,
+        on_decide=None,
+    ) -> None:
         self.table = table
-        self.baseline = 0.0
-        self.mode = "baseline"  # -> "trial" -> "indexed" | "loop"
+        self.baseline = baseline
+        self.mode = mode  # "baseline" -> "trial" -> "indexed" | "loop"
+        self.on_decide = on_decide
 
     def pick(self) -> ConversionTable | None:
         """Table to use for this execution (``None`` = tile loop)."""
@@ -225,10 +239,14 @@ class _ConvertSite:
         if self.mode == "trial":
             if elapsed <= self.baseline:
                 self.mode = "indexed"
-                return self.baseline - elapsed
-            self.mode = "loop"
-            self.table = None  # free the losing table
-            return 0.0
+                saved = self.baseline - elapsed
+            else:
+                self.mode = "loop"
+                self.table = None  # free the losing table
+                saved = 0.0
+            if self.on_decide is not None:
+                self.on_decide(self.mode, self.baseline)
+            return saved
         if self.mode == "indexed":
             return self.baseline - elapsed
         return 0.0
@@ -409,14 +427,48 @@ class CompiledPlan:
                 )
             self._fdsts = self._pack_destinations(memory)
         if depth >= CONVERT_TABLE_MIN_DEPTH:
+            # A plan store, when the session has one, replays persisted
+            # loop-vs-indexed verdicts: a "loop" record skips building the
+            # O(n^2) table entirely, an "indexed" record preseeds the site
+            # past both trial executions, and an unseen geometry gets an
+            # ``on_decide`` hook that writes the live verdict back.  This
+            # is what makes the calibration survive plan eviction — the
+            # store, not the evicted plan object, owns the answer.
+            store = getattr(self.session, "_plan_store", None)
             for name, mm in (("a", self._a_mm), ("b", self._b_mm),
                              ("c", self._c_mm)):
                 if name in self._ftables:
                     continue
-                if mm.rows * mm.cols <= CONVERT_TABLE_MAX_ELEMS:
-                    self._sites[name] = _ConvertSite(ConversionTable(
-                        mm.rows, mm.cols, mm.tile_r, mm.tile_c, mm.depth
-                    ))
+                if mm.rows * mm.cols > CONVERT_TABLE_MAX_ELEMS:
+                    continue
+                site_key = calibration_key(
+                    mm.rows, mm.cols, mm.tile_r, mm.tile_c, mm.depth,
+                    dtype=key.dtype,
+                )
+                cal = (
+                    store.lookup_calibration(site_key)
+                    if store is not None else None
+                )
+                if cal is not None and cal["mode"] == "loop":
+                    continue  # the loop path won; no table, no trials
+                table = ConversionTable(
+                    mm.rows, mm.cols, mm.tile_r, mm.tile_c, mm.depth
+                )
+                if cal is not None:  # mode == "indexed"
+                    self._sites[name] = _ConvertSite(
+                        table, mode="indexed",
+                        baseline=float(cal.get("baseline", 0.0)),
+                    )
+                elif store is not None:
+                    self._sites[name] = _ConvertSite(
+                        table,
+                        on_decide=(
+                            lambda mode, baseline, _sk=site_key:
+                            store.record_calibration(_sk, mode, baseline)
+                        ),
+                    )
+                else:
+                    self._sites[name] = _ConvertSite(table)
 
     def _pack_destinations(self, memory: str) -> dict[str, np.ndarray]:
         """Flat quarter buffers receiving the four top-level packed sums.

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import os
 import threading
+import time
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -49,6 +51,7 @@ from ..core.workspace import Workspace
 from ..errors import BatchItemError, PlanError
 from ..layout.matrix import MortonMatrix
 from ..observe.trace import Tracer
+from ..tune.store import UNSET, PlanStore
 from .plan import (
     BATCH_CAP_MAX,
     BatchPlan,
@@ -113,6 +116,12 @@ class SessionStats:
     ``compute`` instead) and ``convert_fraction`` (``convert_seconds``
     over total execute time, in ``[0, 1]`` — the ratio the fused path
     exists to shrink).
+
+    The persistent plan store adds ``store_hits`` / ``store_misses``
+    (plan-key resolutions answered / not answered by the session's
+    :class:`repro.tune.PlanStore`) and ``autotune_seconds`` (wall time
+    spent inside :meth:`GemmSession.autotune`, including its trial
+    executions).
     """
 
     plan_hits: int = 0
@@ -140,6 +149,9 @@ class SessionStats:
     fused_packs: int = 0
     convert_seconds: float = 0.0
     convert_fraction: float = 0.0
+    store_hits: int = 0
+    store_misses: int = 0
+    autotune_seconds: float = 0.0
 
 
 class GemmSession:
@@ -204,6 +216,21 @@ class GemmSession:
         (:func:`repro.blas.set_accumulate_cap`) at construction.  The cap
         is **process-global** (the scratch is shared by every session);
         it is exposed here so serving configurations live in one place.
+        An explicit value also takes precedence over a plan store's
+        ``accumulate_cap`` artifact.
+    plan_store:
+        The persistent cross-session plan database
+        (:class:`repro.tune.PlanStore`).  Accepts a ``PlanStore`` (shared
+        between sessions), a path (a store is opened there, lazily), or
+        ``None`` to disable persistence.  When the argument is omitted,
+        the ``REPRO_PLAN_STORE`` environment variable (if set and
+        non-empty) names the store path — the explicit argument always
+        wins over the environment.  With a store attached, plan-key
+        resolution consults it before the heuristic defaults (an
+        explicit per-call ``policy=``/``schedule=``/... still wins),
+        conversion-site calibration verdicts are replayed from and
+        persisted to it, and :meth:`autotune` writes its winners back.
+        ``close()`` flushes dirty store state to disk.
     """
 
     def __init__(
@@ -221,6 +248,7 @@ class GemmSession:
         debug: bool = False,
         fused_pack: bool = True,
         accumulate_cap: int | None = None,
+        plan_store: "PlanStore | str | os.PathLike | None" = UNSET,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -237,6 +265,12 @@ class GemmSession:
         self.fused_pack = fused_pack
         if accumulate_cap is not None:
             set_accumulate_cap(accumulate_cap)
+        self._plan_store = PlanStore.resolve(plan_store)
+        # An explicit accumulate_cap argument outranks the store artifact;
+        # otherwise the artifact is applied once, on the first consult.
+        self._store_cap_pending = (
+            self._plan_store is not None and accumulate_cap is None
+        )
         self.default_policy = TruncationPolicy.coerce(policy)
         self.default_kernel = get_kernel(kernel)
         self.default_variant = resolve_variant(variant)
@@ -275,8 +309,16 @@ class GemmSession:
         self._batch_fallbacks = 0
         self._batch_convert_saved = 0.0
         self._fused_packs = 0
+        self._store_hits = 0
+        self._store_misses = 0
+        self._autotune_seconds = 0.0
         # (shape, dtype) -> free F-order buffers for evaluate() intermediates.
         self._expr_pool: dict = {}
+
+    @property
+    def plan_store(self) -> "PlanStore | None":
+        """The session's persistent plan store (``None`` when disabled)."""
+        return self._plan_store
 
     # ---------------------------------------------------------- worker pool
 
@@ -305,8 +347,20 @@ class GemmSession:
         A pool the session created itself is shut down; a shared ``pool``
         passed at construction is left running for its other users.  The
         session stays usable — a later parallel multiply lazily recreates
-        the pool.  Idempotent.
+        the pool.  Dirty plan-store state is flushed to disk (failures
+        warn rather than raise — closing must always succeed).
+        Idempotent.
         """
+        store = self._plan_store
+        if store is not None:
+            try:
+                store.flush()
+            except OSError as exc:
+                warnings.warn(
+                    f"could not flush plan store {store.path}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         with self._lock:
             pool, owned = self._pool, self._owns_pool
             if owned:
@@ -447,6 +501,45 @@ class GemmSession:
         if self._scratch_live > self._scratch_peak:
             self._scratch_peak = self._scratch_live
 
+    def _consult_store(self, m: int, k: int, n: int, gspec, variant: str):
+        """Look one shape up in the plan store, counting hit/miss.
+
+        Also applies the store's ``accumulate_cap`` artifact once per
+        session on the first consult (unless the constructor received an
+        explicit ``accumulate_cap`` — user configuration outranks the
+        store).
+        """
+        store = self._plan_store
+        dec = store.lookup(
+            m, k, n, dtype=gspec.dtype, variant=variant,
+            fused_pack=self.fused_pack,
+        )
+        hit = dec is not None
+        apply_cap = False
+        with self._lock:
+            if hit:
+                self._store_hits += 1
+            else:
+                self._store_misses += 1
+            if self._store_cap_pending:
+                self._store_cap_pending = False
+                apply_cap = True
+        tr = self.trace
+        if tr.enabled:
+            tr.emit(
+                "store_lookup",
+                label=f"{m}x{k}x{n}:{gspec.dtype}:{variant}",
+                hit=hit,
+            )
+        if apply_cap:
+            cap = store.get_artifact("accumulate_cap")
+            if cap is not None:
+                try:
+                    set_accumulate_cap(int(cap))
+                except (TypeError, ValueError):
+                    pass  # malformed artifact: keep the process default
+        return dec
+
     def _make_key(
         self, m, k, n, op_a, op_b, policy, kernel, variant, parallel, schedule,
         memory=None, dtype=None, *, alpha=None, beta=None,
@@ -455,6 +548,29 @@ class GemmSession:
         variant = (
             self.default_variant if variant is None else resolve_variant(variant)
         )
+        gspec = GemmSpec.coerce(
+            spec, alpha=alpha, beta=beta, op_a=op_a, op_b=op_b,
+            trans_a=trans_a, trans_b=trans_b, dtype=dtype,
+        )
+        # The plan store answers before the heuristic defaults kick in,
+        # but never over an explicit caller choice: a stored decision is
+        # consulted only when the caller left ``policy`` unset, and its
+        # schedule/memory/kernel components fill only the parameters the
+        # caller also left unset.
+        if policy is None and self._plan_store is not None:
+            dec = self._consult_store(int(m), int(k), int(n), gspec, variant)
+            if dec is not None:
+                try:
+                    policy = dec.policy(int(m), int(k), int(n))
+                except (ValueError, PlanError):
+                    policy = None  # unusable record: fall back silently
+                else:
+                    if schedule is None and not parallel:
+                        schedule = dec.schedule
+                    if memory is None:
+                        memory = dec.memory
+                    if kernel is None:
+                        kernel = dec.kernel
         sched = Schedule.coerce(schedule, default=self.default_schedule)
         if parallel and not sched.parallel:
             # Historical boolean form: the seven top-level products on a
@@ -483,10 +599,6 @@ class GemmSession:
                 "(leaf recursions would clobber shared operand quadrants); "
                 "use memory='two_temp' for a low-memory parallel schedule"
             )
-        gspec = GemmSpec.coerce(
-            spec, alpha=alpha, beta=beta, op_a=op_a, op_b=op_b,
-            trans_a=trans_a, trans_b=trans_b, dtype=dtype,
-        )
         return PlanKey(
             m=int(m),
             k=int(k),
@@ -848,6 +960,31 @@ class GemmSession:
         self._fold_fused(ops)
         return c_mm
 
+    def autotune(
+        self,
+        shapes,
+        **kwargs,
+    ):
+        """Tune the given shapes and persist the winners to the plan store.
+
+        ``shapes`` is an iterable of ``n`` (square) or ``(m, k, n)``
+        problem shapes.  Delegates to :func:`repro.tune.autotune` with
+        this session as the context — the session's plan store receives
+        the winning decisions (a session without a store can still tune;
+        the results then live only in the returned report).  Remaining
+        keyword arguments are the tuner knobs (``machine=``, ``rounds=``,
+        ``tiles=``, ``dtype=``, ...).  Wall time spent here is reported
+        as ``autotune_seconds`` in :meth:`stats`.
+        """
+        from ..tune.autotune import autotune as _autotune
+
+        t0 = time.perf_counter()
+        try:
+            return _autotune(self, shapes, **kwargs)
+        finally:
+            with self._lock:
+                self._autotune_seconds += time.perf_counter() - t0
+
     def evaluate(
         self,
         expr,
@@ -1033,6 +1170,9 @@ class GemmSession:
                 fused_packs=self._fused_packs,
                 convert_seconds=convert_seconds,
                 convert_fraction=convert_fraction,
+                store_hits=self._store_hits,
+                store_misses=self._store_misses,
+                autotune_seconds=self._autotune_seconds,
             )
 
     def clear(self) -> None:

@@ -45,6 +45,7 @@ __all__ = [
     "pack_morton_quarter_batch",
     "ConversionTable",
     "conversion_table",
+    "calibration_key",
 ]
 
 #: Fewest elements per chunk worth dispatching to a worker pool.
@@ -174,6 +175,22 @@ def conversion_table(rows: int, cols: int, tile_r: int, tile_c: int,
                      depth: int) -> ConversionTable:
     """Small shared cache of tables; engine plans hold their own references."""
     return ConversionTable(rows, cols, tile_r, tile_c, depth)
+
+
+def calibration_key(rows: int, cols: int, tile_r: int, tile_c: int,
+                    depth: int, dtype: str = "float64") -> str:
+    """Stable identity of one conversion site's loop-vs-indexed question.
+
+    The engine calibrates each plan site (loop path vs index-table path)
+    by timing; the answer depends only on the conversion geometry and the
+    element width, so this key lets the outcome persist across plans,
+    evictions, sessions and processes (the plan store's ``calibrations``
+    section).
+    """
+    return (
+        f"{int(rows)}x{int(cols)}:t{int(tile_r)}x{int(tile_c)}:"
+        f"d{int(depth)}:{dtype}"
+    )
 
 
 def _indexed_to_morton(src: np.ndarray, out: MortonMatrix,

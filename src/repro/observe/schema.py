@@ -45,6 +45,8 @@ EVENT_KINDS = (
     "accumulate",     # a beta-scaled fold of a product into a live C
     "relabel",        # a transpose served by Morton quadrant relabeling
     "pack",           # a fused convert-and-add packing pass (additive, v1)
+    "store_lookup",   # a plan-store consult during key resolution (additive, v1)
+    "autotune_trial", # one timed candidate execution of the autotuner (additive, v1)
 )
 
 #: JSON Schema (draft-07 subset) for trace-document version 1.
